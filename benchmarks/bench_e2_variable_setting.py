@@ -1,0 +1,45 @@
+"""E2 — The variable-setting family: zero / one / several implementations.
+
+Paper artefacts reproduced: the classification of each family member and the
+reachable value sets of its implementations; the period-2 oscillation of
+plain iteration on the cyclic program and its convergence on the
+cycle-breaking variant.
+"""
+
+import pytest
+
+from repro.interpretation import enumerate_implementations, iterate_interpretation
+from repro.protocols import variable_setting as vs
+
+
+@pytest.mark.parametrize("name", sorted(vs.PROGRAM_FAMILY))
+def test_bench_search_classification(benchmark, table_report, name):
+    context = vs.context()
+    factory, expected = vs.PROGRAM_FAMILY[name]
+    program = factory()
+    result = benchmark(lambda: enumerate_implementations(program, context))
+    assert result.classification == expected
+    found = sorted(
+        sorted(state["x"] for state in system.states) for _, system in result
+    )
+    table_report(
+        f"E2 variable setting: {name}",
+        [(name, result.classification, expected, found)],
+        header=("program", "measured", "paper", "reachable x values"),
+    )
+
+
+def test_bench_cyclic_iteration_oscillates(benchmark):
+    context = vs.context()
+    program = vs.cyclic_program()
+    result = benchmark(lambda: iterate_interpretation(program, context))
+    assert not result.converged
+    assert result.cycle_length == 2
+
+
+def test_bench_cycle_breaking_iteration_converges(benchmark):
+    context = vs.context()
+    program = vs.cycle_breaking_program()
+    result = benchmark(lambda: iterate_interpretation(program, context))
+    assert result.converged
+    assert {state["x"] for state in result.system.states} == {0, 1, 2}

@@ -1,0 +1,45 @@
+"""E3 — Muddy children: with ``k`` muddy children all muddy ones answer *yes*
+simultaneously in round ``k`` (and know in round ``k-1``); scaling of the
+interpretation with the number of children.
+"""
+
+import pytest
+
+from repro.protocols import muddy_children as mc
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_bench_interpretation_scaling(benchmark, table_report, n):
+    result = benchmark.pedantic(lambda: mc.solve(n), rounds=1, iterations=1)
+    assert result.converged
+    rows = []
+    for k in range(1, n + 1):
+        pattern = tuple(i < k for i in range(n))
+        rounds = mc.announcement_rounds(result.system, pattern)
+        muddy_rounds = {rounds[i] for i in range(n) if pattern[i]}
+        clean_rounds = {rounds[i] for i in range(n) if not pattern[i]}
+        assert muddy_rounds == {k}
+        assert clean_rounds <= {k + 1}
+        rows.append((n, k, sorted(muddy_rounds), sorted(clean_rounds), len(result.system)))
+    table_report(
+        f"E3 muddy children (n={n})",
+        rows,
+        header=("n", "k muddy", "muddy announce round", "clean announce round", "|states|"),
+    )
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_bench_knowledge_round_check(benchmark, n):
+    solution = mc.solve(n)
+
+    def measure():
+        results = {}
+        for pattern in mc.all_patterns(n):
+            results[pattern] = mc.knowledge_rounds(solution.system, pattern)
+        return results
+
+    results = benchmark(measure)
+    for pattern, rounds in results.items():
+        k = sum(pattern)
+        for i, muddy in enumerate(pattern):
+            assert rounds[i] == (k - 1 if muddy else k)

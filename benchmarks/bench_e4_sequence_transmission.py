@@ -1,0 +1,52 @@
+"""E4 — Sequence transmission: the knowledge-based specification and the
+alternating-bit protocol.
+
+Reproduced shape: the implementation of the knowledge-based program sends bit
+``i`` exactly while the sender has not learnt that the receiver holds it
+(sequential numbering); the alternating-bit protocol satisfies the safety
+property (the received string is always a prefix of the sent one) and can
+always complete, and receiving a matching acknowledgement gives the sender
+knowledge.
+"""
+
+import pytest
+
+from repro.logic.formula import Prop
+from repro.protocols import sequence_transmission as st
+from repro.temporal import AG, EF, CTLKModelChecker
+
+
+@pytest.mark.parametrize("length", [1, 2, 3])
+def test_bench_kb_interpretation(benchmark, table_report, length):
+    result = benchmark.pedantic(lambda: st.solve_kb(length), rounds=1, iterations=1)
+    assert result.converged
+    context = result.system.context
+    for state in result.system.states:
+        actions = result.protocol.actions(st.SENDER, context.local_state(st.SENDER, state))
+        if state.sacked < length:
+            assert actions == frozenset({st.send_action(state.sacked)})
+    table_report(
+        f"E4 sequence transmission KB (m={length})",
+        [(length, len(result.system), result.iterations)],
+        header=("message length", "|states|", "iterations"),
+    )
+
+
+@pytest.mark.parametrize("length", [1, 2, 3])
+def test_bench_abp_generation_and_safety(benchmark, table_report, length):
+    def build_and_check():
+        system = st.abp_system(length)
+        checker = CTLKModelChecker(system)
+        return (
+            system,
+            checker.valid(AG(st.prefix_ok_formula())),
+            checker.valid(EF(Prop("all_received"))),
+        )
+
+    system, safe, live = benchmark.pedantic(build_and_check, rounds=1, iterations=1)
+    assert safe and live
+    table_report(
+        f"E4 alternating bit (m={length})",
+        [(length, len(system), safe, live)],
+        header=("message length", "|states|", "AG prefix_ok", "EF all_received"),
+    )

@@ -1,0 +1,71 @@
+"""E6 — Cost of the fixed-point interpretation as the state space grows.
+
+The workload is a parametric chain protocol: one agent advances a counter of
+size ``n`` but can only observe a coarse view of it (the counter modulo 4);
+a second, blind observer's knowledge guard controls an auxiliary flag.  The
+experiment measures iterations and wall-clock of the interpretation as ``n``
+grows, and checks the number of reachable states is linear in ``n``.
+"""
+
+import pytest
+
+from repro.interpretation import iterate_interpretation
+from repro.logic.formula import Knows, Prop, disj
+from repro.modeling import StateSpace, boolean, ite, ranged, var
+from repro.programs import AgentProgram, Clause, KnowledgeBasedProgram
+from repro.systems import variable_context
+
+
+def chain_context(n):
+    counter = ranged("c", 0, n)
+    flag = boolean("flag")
+    space = StateSpace([counter, flag])
+    return variable_context(
+        f"chain-{n}",
+        space,
+        observables={"walker": ["c"], "observer": ["flag"]},
+        actions={
+            "walker": {"step": {"c": ite(var(counter) < n, var(counter) + 1, var(counter))}},
+            "observer": {"raise_flag": {"flag": True}},
+        },
+        initial=(var(counter) == 0) & (~var(flag)),
+    )
+
+
+def chain_program(n):
+    walker = AgentProgram(
+        "walker",
+        [Clause(Knows("walker", disj([Prop(f"c={v}") for v in range(n)])), "step")],
+    )
+    # The blind observer raises the flag once it knows the walker has passed
+    # the halfway mark — which it can only learn if the flag-free half-states
+    # become unreachable, which never happens: the guard stays false and the
+    # interpretation must discover that.
+    observer = AgentProgram(
+        "observer",
+        [
+            Clause(
+                Knows("observer", disj([Prop(f"c={v}") for v in range(n // 2, n + 1)])),
+                "raise_flag",
+            )
+        ],
+    )
+    return KnowledgeBasedProgram([walker, observer])
+
+
+@pytest.mark.parametrize("n", [8, 16, 32, 64])
+def test_bench_fixed_point_scaling(benchmark, table_report, n):
+    context = chain_context(n)
+    program = chain_program(n)
+    result = benchmark.pedantic(
+        lambda: iterate_interpretation(program, context), rounds=1, iterations=1
+    )
+    assert result.converged
+    # The observer never learns anything, so the flag stays down and the
+    # reachable states are exactly the n+1 counter values.
+    assert len(result.system) == n + 1
+    table_report(
+        f"E6 fixed-point scaling (n={n})",
+        [(n, len(result.system), result.iterations)],
+        header=("chain length", "|states|", "iterations"),
+    )

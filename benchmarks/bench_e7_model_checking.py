@@ -1,0 +1,72 @@
+"""E7 — Cost of epistemic and temporal-epistemic model checking as the
+structure grows.
+
+Workloads: (a) pure knowledge evaluation (nested K, common knowledge) over
+observability structures of growing size; (b) CTLK checking over the
+alternating-bit systems.
+"""
+
+import pytest
+
+from repro.kripke import structure_from_labels
+from repro.logic import extension, parse
+from repro.protocols import sequence_transmission as st
+from repro.temporal import AG, EF, CTLKModelChecker
+
+
+def grid_structure(bits):
+    """An observability structure over ``2^bits`` worlds: agent ``a`` sees the
+    even-indexed bits, agent ``b`` the odd-indexed ones."""
+    worlds = range(2 ** bits)
+    labelling = {
+        w: {f"b{i}" for i in range(bits) if (w >> i) & 1} for w in worlds
+    }
+    observables = {
+        "a": {f"b{i}" for i in range(0, bits, 2)},
+        "b": {f"b{i}" for i in range(1, bits, 2)},
+    }
+    return structure_from_labels(labelling, observables)
+
+
+@pytest.mark.parametrize("bits", [6, 8, 10])
+def test_bench_knowledge_evaluation(benchmark, table_report, bits):
+    structure = grid_structure(bits)
+    formula = parse("K[a] b0 & !K[a] b1 & M[b] (b1 & !b0)")
+
+    result = benchmark(lambda: extension(structure, formula))
+    assert isinstance(result, set)
+    table_report(
+        f"E7 knowledge evaluation ({2**bits} worlds)",
+        [(2 ** bits, len(result))],
+        header=("worlds", "|extension|"),
+    )
+
+
+@pytest.mark.parametrize("bits", [6, 8])
+def test_bench_common_knowledge(benchmark, bits):
+    structure = grid_structure(bits)
+    formula = parse("C[a,b] (b0 | !b0)")
+    result = benchmark(lambda: extension(structure, formula))
+    assert len(result) == 2 ** bits
+
+
+@pytest.mark.parametrize("length", [2, 3])
+def test_bench_ctlk_checking(benchmark, table_report, length):
+    system = st.abp_system(length)
+    formulas = [
+        AG(st.prefix_ok_formula()),
+        EF(st.sender_knows_received(0)),
+        AG(st.sender_knows_received(0) | ~st.sender_knows_received(0)),
+    ]
+
+    def check():
+        checker = CTLKModelChecker(system)
+        return [checker.valid(formula) for formula in formulas]
+
+    values = benchmark(check)
+    assert values[0] is True and values[1] is True and values[2] is True
+    table_report(
+        f"E7 CTLK over alternating bit (m={length})",
+        [(length, len(system), values)],
+        header=("message length", "|states|", "validities"),
+    )

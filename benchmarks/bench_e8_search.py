@@ -1,0 +1,78 @@
+"""E8 — Exhaustive implementation search: classifying programs with none, a
+unique, or several implementations, and how the search scales with the size
+of the global state space.
+"""
+
+import pytest
+
+from repro.interpretation import enumerate_implementations
+from repro.logic.formula import Knows, Prop, disj
+from repro.modeling import StateSpace, ranged, var
+from repro.programs import AgentProgram, Clause, KnowledgeBasedProgram
+from repro.protocols import variable_setting as vs
+from repro.systems import variable_context
+
+
+def test_bench_family_search(benchmark, table_report):
+    context = vs.context()
+
+    def classify_all():
+        return {
+            name: enumerate_implementations(factory(), context).classification
+            for name, (factory, _) in vs.PROGRAM_FAMILY.items()
+        }
+
+    classes = benchmark(classify_all)
+    expected = {name: expected for name, (_, expected) in vs.PROGRAM_FAMILY.items()}
+    assert classes == expected
+    table_report(
+        "E8 implementation search over the variable-setting family",
+        sorted(classes.items()),
+        header=("program", "classification"),
+    )
+
+
+def _wide_setting(domain_size):
+    """A one-agent setting over ``x in 0..domain_size``: the blind agent may
+    set any non-zero value ``v`` as long as it knows ``x`` is none of the
+    *other* non-zero values (the many-valued generalisation of the paper's
+    cyclic example, which has one implementation per value)."""
+    x = ranged("x", 0, domain_size)
+    space = StateSpace([x])
+    context = variable_context(
+        f"wide-{domain_size}",
+        space,
+        observables={"a": []},
+        actions={"a": {f"set{v}": {"x": v} for v in range(1, domain_size + 1)}},
+        initial=(var(x) == 0),
+    )
+    clauses = []
+    for v in range(1, domain_size + 1):
+        others_excluded = None
+        for w in range(1, domain_size + 1):
+            if w == v:
+                continue
+            term = var(x) != w
+            others_excluded = term if others_excluded is None else (others_excluded & term)
+        clauses.append(Clause(Knows("a", others_excluded.to_formula()), f"set{v}"))
+    program = KnowledgeBasedProgram([AgentProgram("a", clauses)])
+    return context, program
+
+
+@pytest.mark.parametrize("domain_size", [3, 5, 7])
+def test_bench_search_scaling(benchmark, table_report, domain_size):
+    context, program = _wide_setting(domain_size)
+    result = benchmark.pedantic(
+        lambda: enumerate_implementations(program, context, max_free_states=domain_size),
+        rounds=1,
+        iterations=1,
+    )
+    # Exactly one value can be justified at a time, and leaving every value
+    # unreachable is self-defeating, so there is one implementation per value.
+    assert result.classification == "multiple"
+    assert len(result.implementations) == domain_size
+    table_report(
+        f"E8 search scaling (domain {domain_size})",
+        [(domain_size, result.candidates_checked, len(result.implementations))],
+        header=("non-zero values", "candidates", "implementations"),
+    )

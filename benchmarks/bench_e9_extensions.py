@@ -1,0 +1,47 @@
+"""E9 — Extension workloads: the unexpected examination and the dining
+cryptographers, exercising interpretation and group-knowledge checking.
+"""
+
+import pytest
+
+from repro.protocols import dining_cryptographers as dc
+from repro.protocols import unexpected_examination as ue
+
+
+def test_bench_unexpected_examination(benchmark, table_report):
+    result = benchmark.pedantic(lambda: ue.solve(), rounds=1, iterations=1)
+    assert result.converged
+    rows = []
+    for day in range(5):
+        written = ue.exam_written_on_day(result.system, day)
+        expected = day < 4
+        assert written == expected
+        rows.append((day, written, expected))
+    assert ue.surprise_holds_when_written(result.system)
+    table_report(
+        "E9 unexpected examination",
+        rows,
+        header=("exam day", "surprise exam happens", "expected"),
+    )
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def test_bench_dining_cryptographers(benchmark, table_report, n):
+    def build_and_check():
+        system = dc.system(n)
+        return (
+            system,
+            dc.anonymity_holds(system, n),
+            dc.everyone_learns_whether_paid(system, n),
+            dc.someone_paid_is_common_knowledge(system, n),
+        )
+
+    system, anonymous, learns, common = benchmark.pedantic(
+        build_and_check, rounds=1, iterations=1
+    )
+    assert anonymous and learns and common
+    table_report(
+        f"E9 dining cryptographers (n={n})",
+        [(n, len(system), anonymous, learns, common)],
+        header=("cryptographers", "|states|", "anonymity", "learns", "common knowledge"),
+    )

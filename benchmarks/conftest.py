@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one experiment of EXPERIMENTS.md (the
+paper's worked examples, plus scaling studies of the algorithms the paper
+leaves implicit).  Every module both *measures* (via pytest-benchmark) and
+*checks* the qualitative shape the paper reports, so a benchmark run doubles
+as a reproduction run.
+"""
+
+import pytest
+
+
+def report(title, rows, header=None):
+    """Print a small aligned table into the captured benchmark output."""
+    lines = [f"\n== {title} =="]
+    if header:
+        lines.append(" | ".join(str(cell) for cell in header))
+    for row in rows:
+        lines.append(" | ".join(str(cell) for cell in row))
+    print("\n".join(lines))
+
+
+@pytest.fixture(scope="session")
+def table_report():
+    return report

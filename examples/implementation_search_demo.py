@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""The variable-setting family: programs with zero, one or many
+implementations, and what plain iteration does on each of them.
+
+Run with::
+
+    python examples/implementation_search_demo.py
+"""
+
+from repro.interpretation import enumerate_implementations, iterate_interpretation
+from repro.protocols import variable_setting as vs
+
+
+def main():
+    context = vs.context()
+    print("Context: one blind agent, x in 0..3, starting from x = 0\n")
+
+    for name, (factory, expected) in vs.PROGRAM_FAMILY.items():
+        program = factory()
+        print(f"--- {name} ---")
+        print(program.describe())
+
+        search = enumerate_implementations(program, context)
+        print(f"exhaustive search: {search.classification} (expected: {expected})")
+        for index, (protocol, system) in enumerate(search):
+            values = sorted(state["x"] for state in system.states)
+            print(f"  implementation {index + 1}: reachable x values {values}")
+
+        iteration = iterate_interpretation(program, context)
+        if iteration.converged:
+            values = sorted(state["x"] for state in iteration.system.states)
+            print(
+                f"iteration: converged after {iteration.iterations} steps "
+                f"to reachable x values {values}"
+            )
+        else:
+            print(
+                f"iteration: no fixed point, cycle of length {iteration.cycle_length} "
+                f"after {iteration.iterations} steps"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Sequence transmission: the knowledge-based specification and the
+alternating-bit protocol.
+
+The script interprets the knowledge-based sequence-transmission program for a
+short message, shows that the derived implementation performs sequential
+numbering ("send bit i until you know the receiver has it"), and then checks
+the safety and knowledge properties of the concrete alternating-bit protocol.
+
+Run with::
+
+    python examples/sequence_transmission_demo.py [message_length]
+"""
+
+import sys
+
+from repro.logic.formula import Prop
+from repro.protocols import sequence_transmission as st
+from repro.temporal import AG, EF, CTLKModelChecker
+
+
+def main():
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+
+    print(f"Knowledge-based specification for a {length}-bit message")
+    result = st.solve_kb(length)
+    print(f"  converged: {result.converged} after {result.iterations} iterations, "
+          f"{len(result.system)} reachable states")
+
+    print("\nDerived sender behaviour (grouped by how much has been acknowledged):")
+    context = result.system.context
+    by_sacked = {}
+    for state in result.system.states:
+        local = context.local_state(st.SENDER, state)
+        actions = tuple(sorted(result.protocol.actions(st.SENDER, local)))
+        by_sacked.setdefault(state.sacked, set()).add(actions)
+    for sacked in sorted(by_sacked):
+        behaviours = sorted(by_sacked[sacked])
+        print(f"  acknowledged={sacked}: perform {[list(b) for b in behaviours]}")
+
+    print("\nAlternating-bit protocol over the lossy-channel model")
+    system = st.abp_system(length)
+    checker = CTLKModelChecker(system)
+    print(f"  reachable states: {len(system)}")
+    print(f"  AG prefix_ok (safety): {checker.valid(AG(st.prefix_ok_formula()))}")
+    print(f"  EF all_received (possible completion): {checker.valid(EF(Prop('all_received')))}")
+    print(
+        "  sender knows bit 0 was delivered whenever it has advanced: "
+        f"{all(checker.holds(s, st.sender_knows_received(0)) for s in system.states if s.sptr >= 1)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+the package can be installed in environments without the ``wheel`` package
+(legacy editable installs fall back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

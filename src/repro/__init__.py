@@ -1,0 +1,62 @@
+"""repro — knowledge-based programs over interpreted systems.
+
+A reproduction of *Knowledge-Based Programs* (Fagin, Halpern, Moses, Vardi;
+PODC 1995): epistemic logic, interpreted systems, standard and
+knowledge-based programs, the implementation-as-fixed-point semantics with
+its uniqueness conditions, a CTLK model-checking substrate, and the paper's
+canonical protocols (bit transmission, muddy children, sequence
+transmission, the variable-setting family).
+
+Quickstart::
+
+    from repro import logic, protocols
+    from repro.interpretation import iterate_interpretation
+
+    context = protocols.bit_transmission.context()
+    program = protocols.bit_transmission.program()
+    result = iterate_interpretation(program, context)
+    assert result.converged
+    system = result.system
+    assert system.holds_initially(logic.parse("!K[R] sbit"))
+"""
+
+from repro import analysis, interpretation, kripke, logic, modeling, programs, systems, temporal
+from repro.logic import parse
+from repro.interpretation import (
+    check_implementation,
+    classify_program,
+    construct_by_rounds,
+    derive_protocol,
+    enumerate_implementations,
+    implements,
+    iterate_interpretation,
+)
+from repro.programs import AgentProgram, Clause, KnowledgeBasedProgram
+from repro.systems import represent, variable_context
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "interpretation",
+    "kripke",
+    "logic",
+    "modeling",
+    "programs",
+    "systems",
+    "temporal",
+    "parse",
+    "check_implementation",
+    "classify_program",
+    "construct_by_rounds",
+    "derive_protocol",
+    "enumerate_implementations",
+    "implements",
+    "iterate_interpretation",
+    "AgentProgram",
+    "Clause",
+    "KnowledgeBasedProgram",
+    "represent",
+    "variable_context",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Analysis helpers built on top of interpreted systems.
+
+* :mod:`repro.analysis.common_knowledge` — levels of group knowledge
+  (``E``, ``E E``, ...), when a fact becomes common knowledge, and the
+  round-indexed knowledge progression used by the muddy-children experiment;
+* :mod:`repro.analysis.statistics` — structural statistics of interpreted
+  systems and a per-agent "knowledge census" of which facts are known where.
+"""
+
+from repro.analysis.common_knowledge import (
+    everyone_knows_level,
+    knowledge_level_reached,
+    is_common_knowledge,
+    knowledge_progression,
+)
+from repro.analysis.statistics import system_statistics, knowledge_census
+
+__all__ = [
+    "everyone_knows_level",
+    "knowledge_level_reached",
+    "is_common_knowledge",
+    "knowledge_progression",
+    "system_statistics",
+    "knowledge_census",
+]

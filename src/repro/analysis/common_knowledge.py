@@ -1,0 +1,73 @@
+"""Group knowledge: everyone-knows iterations and common knowledge.
+
+Common knowledge of ``phi`` among a group is the infinite conjunction
+``E phi``, ``E E phi``, ... ; over a finite structure the iteration
+stabilises, and ``C`` can equivalently be computed through the transitive
+closure of the union of the group's accessibility relations (as done in
+:mod:`repro.logic.semantics`).  The helpers below expose the *level*
+structure, which the analysis of protocols such as the muddy children and
+coordinated-attack style arguments relies on.
+"""
+
+from repro.logic.formula import CommonKnows, EveryoneKnows
+from repro.util.errors import ModelError
+
+
+def everyone_knows_level(formula, group, level):
+    """Return the formula ``E_G^level formula`` (``level`` nested E's)."""
+    if level < 0:
+        raise ModelError("knowledge level must be non-negative")
+    result = formula
+    for _ in range(level):
+        result = EveryoneKnows(group, result)
+    return result
+
+
+def knowledge_level_reached(system, state, formula, group, max_level=None):
+    """Return the largest ``k`` such that ``E_G^k formula`` holds at
+    ``state`` (0 if even ``formula`` fails; ``None`` means the iteration
+    stabilised at common knowledge).
+
+    The iteration is stopped at ``max_level`` (default: number of reachable
+    states, after which the extension must have stabilised).
+    """
+    if max_level is None:
+        max_level = len(system.states) + 1
+    if not system.holds(state, formula):
+        return 0
+    level = 0
+    current = formula
+    while level < max_level:
+        next_formula = EveryoneKnows(group, current)
+        if not system.holds(state, next_formula):
+            return level
+        level += 1
+        current = next_formula
+    if system.holds(state, CommonKnows(group, formula)):
+        return None
+    return level
+
+
+def is_common_knowledge(system, state, formula, group):
+    """Return ``True`` iff ``formula`` is common knowledge among ``group`` at
+    ``state``."""
+    return system.holds(state, CommonKnows(group, formula))
+
+
+def knowledge_progression(systems_by_round, formula, group):
+    """Given a mapping ``round -> (system, states at that round)``, return
+    for each round the number of those states at which ``E_G formula`` and
+    ``C_G formula`` hold.  Used to tabulate how group knowledge grows round
+    by round in synchronous protocols."""
+    progression = {}
+    for round_index, (system, states) in sorted(systems_by_round.items()):
+        everyone = EveryoneKnows(group, formula)
+        common = CommonKnows(group, formula)
+        everyone_extension = system.extension(everyone)
+        common_extension = system.extension(common)
+        progression[round_index] = {
+            "states": len(states),
+            "everyone_knows": sum(1 for state in states if state in everyone_extension),
+            "common_knowledge": sum(1 for state in states if state in common_extension),
+        }
+    return progression

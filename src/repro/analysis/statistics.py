@@ -1,0 +1,66 @@
+"""Structural statistics and knowledge censuses of interpreted systems."""
+
+from repro.logic.formula import Knows, Prop
+
+
+def system_statistics(system):
+    """Return a dictionary of structural statistics of an interpreted system.
+
+    Includes state/transition counts, depth, per-agent numbers of local
+    states (how much each agent can distinguish) and the sizes of the largest
+    indistinguishability classes.
+    """
+    transition_system = system.transition_system
+    per_agent = {}
+    for agent in system.agents:
+        classes = {}
+        for state in system.states:
+            classes.setdefault(system.local_state(agent, state), []).append(state)
+        sizes = sorted((len(members) for members in classes.values()), reverse=True)
+        per_agent[agent] = {
+            "local_states": len(classes),
+            "largest_class": sizes[0] if sizes else 0,
+            "singleton_classes": sum(1 for size in sizes if size == 1),
+        }
+    return {
+        "context": system.context.name,
+        "states": len(transition_system),
+        "transitions": len(transition_system.transitions),
+        "max_depth": transition_system.max_depth(),
+        "deadlocks": len(transition_system.deadlock_states()),
+        "synchronous": system.is_synchronous(),
+        "agents": per_agent,
+    }
+
+
+def knowledge_census(system, propositions=None, agents=None):
+    """For each agent and proposition, count at how many reachable states the
+    agent knows the proposition, knows its negation, or is uncertain.
+
+    Parameters
+    ----------
+    propositions:
+        Iterable of proposition names; defaults to every proposition used in
+        the system's labelling.
+    agents:
+        Defaults to all agents of the system.
+    """
+    if agents is None:
+        agents = system.agents
+    if propositions is None:
+        propositions = sorted(system.structure.propositions)
+    census = {}
+    total = len(system.states)
+    for agent in agents:
+        agent_census = {}
+        for name in propositions:
+            proposition = Prop(name)
+            knows_true = system.extension(Knows(agent, proposition))
+            knows_false = system.extension(Knows(agent, ~proposition))
+            agent_census[name] = {
+                "knows_true": len(knows_true),
+                "knows_false": len(knows_false),
+                "uncertain": total - len(knows_true) - len(knows_false),
+            }
+        census[agent] = agent_census
+    return census

@@ -1,0 +1,129 @@
+"""Sufficient conditions for unique interpretability.
+
+The paper's chain of sufficient conditions is
+
+    synchrony  ==>  provision of epistemic witnesses  ==>  dependence on the
+    past  ==>  at most one implementation.
+
+This module checks each of the three conditions on concrete (finite) systems
+and programs:
+
+* :func:`system_is_synchronous` — indistinguishable reachable states are
+  first reached at the same depth;
+* :func:`program_provides_witnesses` — for every ``K`` subformula of the
+  program's guards, whenever the knowledge fails at depth ``k`` there is a
+  counterexample of depth at most ``k``;
+* :func:`depends_on_past` — the definition itself, checked over a finite
+  class of candidate systems: whenever two systems agree on the transitions
+  reachable within ``k`` rounds, every guard has the same value in both at
+  every state reachable within ``k`` rounds.
+
+All three are *semantic* checks over given systems.  The convenience
+function :func:`sufficient_conditions_report` evaluates them for a program
+over the systems produced by the iterative interpretation and the search,
+producing the data reported in EXPERIMENTS.md.
+"""
+
+from repro.logic.formula import Knows
+from repro.util.errors import InterpretationError
+
+
+def system_is_synchronous(system):
+    """Return ``True`` if the interpreted system is synchronous."""
+    return system.is_synchronous()
+
+
+def program_provides_witnesses(program, systems):
+    """Check provision of epistemic witnesses for every guard of ``program``
+    in every system of ``systems``.
+
+    ``systems`` is an iterable of interpreted systems (typically the
+    candidate interpretations of the program); the paper's notion quantifies
+    over all interpretations of the program, which for finite analyses is
+    approximated by the systems supplied here.
+    """
+    guards = program.guards()
+    return all(system.provides_epistemic_witnesses(guards) for system in systems)
+
+
+def _transitions_within_depth(system, depth):
+    """The paper's ``T_k``: transitions whose source is reachable within
+    ``depth - 1`` rounds (``T_0`` is empty)."""
+    if depth <= 0:
+        return frozenset()
+    transition_system = system.transition_system
+    sources = transition_system.states_within_depth(depth - 1)
+    return frozenset(
+        (source, target)
+        for source, target in transition_system.transition_relation()
+        if source in sources
+    )
+
+
+def depends_on_past(program, systems, max_depth=None):
+    """Check that every guard of ``program`` depends on the past w.r.t. the
+    finite class ``systems``.
+
+    For every pair of systems, every depth ``k`` (up to the larger of the two
+    systems' depths, or ``max_depth``), and every guard: if the two systems
+    have identical ``T_k`` then the guard has the same value in both systems
+    at every state reachable within ``k`` rounds in both.
+    """
+    systems = list(systems)
+    guards = program.guards()
+    for index, first in enumerate(systems):
+        for second in systems[index + 1 :]:
+            depth_bound = max(
+                first.transition_system.max_depth(), second.transition_system.max_depth()
+            ) + 1
+            if max_depth is not None:
+                depth_bound = min(depth_bound, max_depth)
+            for depth in range(depth_bound + 1):
+                if _transitions_within_depth(first, depth) != _transitions_within_depth(
+                    second, depth
+                ):
+                    continue
+                shared = first.transition_system.states_within_depth(
+                    depth
+                ) & second.transition_system.states_within_depth(depth)
+                for guard in guards:
+                    first_extension = first.extension(guard)
+                    second_extension = second.extension(guard)
+                    for state in shared:
+                        if (state in first_extension) != (state in second_extension):
+                            return False
+    return True
+
+
+def sufficient_conditions_report(program, context, systems):
+    """Evaluate the paper's condition chain for ``program`` over ``systems``.
+
+    Returns a dictionary with keys ``synchronous`` (all systems synchronous),
+    ``provides_witnesses``, ``depends_on_past`` and ``at_most_one_expected``
+    (the conjunction-implied conclusion: ``True`` when any of the sufficient
+    conditions holds).
+    """
+    systems = list(systems)
+    if not systems:
+        raise InterpretationError("need at least one system to evaluate the conditions")
+    synchronous = all(system.is_synchronous() for system in systems)
+    witnesses = program_provides_witnesses(program, systems)
+    past = depends_on_past(program, systems)
+    return {
+        "context": context.name,
+        "synchronous": synchronous,
+        "provides_witnesses": witnesses,
+        "depends_on_past": past,
+        "at_most_one_expected": synchronous or witnesses or past,
+    }
+
+
+def knowledge_guards(program):
+    """Return the set of ``K`` subformulas occurring in the program's guards
+    (the formulas witness provision is about)."""
+    result = set()
+    for guard in program.guards():
+        for sub in guard.subformulas():
+            if isinstance(sub, Knows):
+                result.add(sub)
+    return result

@@ -1,0 +1,153 @@
+"""Exhaustive search for all implementations of a knowledge-based program.
+
+Because the interpretation functional is not monotone, a program may have no
+implementation, exactly one, or several.  For small models the full space of
+candidate behaviours can be enumerated: every implementation ``P`` is the
+protocol derived from its own set of reachable states, so it suffices to
+enumerate candidate reachable-state sets ``R`` (supersets of the initial
+states within the global state space), derive the protocol ``P_R`` from the
+epistemic structure over ``R``, and keep exactly those candidates whose
+generated system reaches precisely ``R``.  This is complete: distinct
+implementations have distinct reachable sets or agree behaviourally.
+
+The search needs the *full* global state space, which is available for
+variable-based contexts (``context.spec``) or can be passed explicitly.
+"""
+
+from itertools import combinations
+
+from repro.interpretation.functional import StateSetView, derive_protocol
+from repro.systems.interpreted_system import represent
+from repro.util.errors import InterpretationError
+
+
+class ImplementationSearchResult:
+    """All implementations of a program in a context.
+
+    Attributes
+    ----------
+    implementations:
+        List of ``(joint protocol, interpreted system)`` pairs, one per
+        behaviourally distinct implementation, ordered by the number of
+        reachable states.
+    candidates_checked:
+        How many candidate reachable-state sets were examined.
+    classification:
+        ``"contradictory"`` (no implementation), ``"unique"`` or
+        ``"multiple"``.
+    """
+
+    def __init__(self, implementations, candidates_checked):
+        self.implementations = sorted(implementations, key=lambda pair: len(pair[1]))
+        self.candidates_checked = candidates_checked
+
+    @property
+    def classification(self):
+        if not self.implementations:
+            return "contradictory"
+        if len(self.implementations) == 1:
+            return "unique"
+        return "multiple"
+
+    def __len__(self):
+        return len(self.implementations)
+
+    def __iter__(self):
+        return iter(self.implementations)
+
+    def unique(self):
+        """Return the unique implementation, or raise if there is not exactly
+        one."""
+        if len(self.implementations) != 1:
+            raise InterpretationError(
+                f"expected a unique implementation, found {len(self.implementations)}"
+            )
+        return self.implementations[0]
+
+    def reachable_sets(self):
+        """Return the list of reachable-state sets of the implementations."""
+        return [frozenset(system.states) for _, system in self.implementations]
+
+    def __repr__(self):
+        return (
+            f"ImplementationSearchResult({self.classification}, "
+            f"{len(self.implementations)} implementation(s), "
+            f"{self.candidates_checked} candidates checked)"
+        )
+
+
+def _full_state_space(context, all_states):
+    if all_states is not None:
+        return list(all_states)
+    spec = getattr(context, "spec", None)
+    if spec is None:
+        raise InterpretationError(
+            "exhaustive search needs the full global state space: pass all_states= "
+            "or use a variable-based context"
+        )
+    return list(spec.state_space.states())
+
+
+def enumerate_implementations(
+    program,
+    context,
+    all_states=None,
+    max_free_states=16,
+    require_local=True,
+    max_states=100000,
+):
+    """Enumerate all (behaviourally distinct) implementations of ``program``.
+
+    Parameters
+    ----------
+    all_states:
+        The full global state space; defaults to the state space of a
+        variable-based context.
+    max_free_states:
+        Upper bound on the number of non-initial states (the search is
+        exponential in this number); exceeding it raises
+        :class:`InterpretationError`.
+
+    Returns
+    -------
+    ImplementationSearchResult
+    """
+    states = _full_state_space(context, all_states)
+    initial = list(dict.fromkeys(context.initial_states))
+    free = [state for state in states if state not in set(initial)]
+    if len(free) > max_free_states:
+        raise InterpretationError(
+            f"search space too large: {len(free)} non-initial states "
+            f"(limit {max_free_states}); raise max_free_states to force the search"
+        )
+
+    implementations = []
+    seen_reachable_sets = set()
+    candidates_checked = 0
+    for size in range(len(free) + 1):
+        for extra in combinations(free, size):
+            candidates_checked += 1
+            candidate = frozenset(initial) | frozenset(extra)
+            view = StateSetView(context, sorted(candidate, key=repr))
+            try:
+                protocol = derive_protocol(program, view, require_local=require_local)
+            except InterpretationError:
+                # A guard is not local over this candidate set; such a
+                # candidate cannot be the reachable set of an implementation
+                # of a well-formed knowledge-based program.
+                continue
+            system = represent(context, protocol, max_states=max_states)
+            reachable = frozenset(system.states)
+            if reachable != candidate:
+                continue
+            if reachable in seen_reachable_sets:
+                continue
+            seen_reachable_sets.add(reachable)
+            implementations.append((protocol, system))
+    return ImplementationSearchResult(implementations, candidates_checked)
+
+
+def classify_program(program, context, **kwargs):
+    """Return ``"contradictory"``, ``"unique"`` or ``"multiple"`` for the
+    program in the context (see :func:`enumerate_implementations`)."""
+    return enumerate_implementations(program, context, **kwargs).classification

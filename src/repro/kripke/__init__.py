@@ -1,0 +1,47 @@
+"""Epistemic (Kripke) structures and operations on them.
+
+An epistemic structure ``K = (W, (R_a)_{a in A}, L)`` consists of a set of
+worlds ``W``, one accessibility relation per agent and a propositional
+labelling ``L``.  In the examples of the paper the accessibility relations
+are the equivalence relations induced by what each agent can observe; the
+builders in :mod:`repro.kripke.builders` construct exactly those structures.
+"""
+
+from repro.kripke.structure import EpistemicStructure
+from repro.kripke.builders import (
+    structure_from_labels,
+    structure_from_observations,
+    structure_from_local_states,
+    single_agent_structure,
+)
+from repro.kripke.operations import (
+    generated_substructure,
+    restrict_to_worlds,
+    union_structures,
+    disjoint_union,
+    product_structure,
+)
+from repro.kripke.bisimulation import (
+    bisimulation_classes,
+    quotient_structure,
+    are_bisimilar,
+)
+
+__all__ = [
+    "EpistemicStructure",
+    "structure_from_labels",
+    "structure_from_observations",
+    "structure_from_local_states",
+    "single_agent_structure",
+    "generated_substructure",
+    "restrict_to_worlds",
+    "union_structures",
+    "disjoint_union",
+    "product_structure",
+    "bisimulation_classes",
+    "quotient_structure",
+    "are_bisimilar",
+    "structure_from_partition",
+]
+
+from repro.kripke.builders import structure_from_partition  # noqa: E402  (re-export)

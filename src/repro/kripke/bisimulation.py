@@ -1,0 +1,94 @@
+"""Bisimulation on epistemic structures.
+
+Two worlds are bisimilar when they satisfy exactly the same formulas of the
+epistemic language; the partition-refinement algorithm below computes the
+coarsest bisimulation (relational coarsest partition), which can then be used
+to build quotient structures that are logically equivalent but smaller.
+"""
+
+from collections import defaultdict
+
+from repro.kripke.structure import EpistemicStructure
+from repro.util.errors import ModelError
+
+
+def bisimulation_classes(structure):
+    """Return the coarsest bisimulation partition as a list of frozensets.
+
+    The algorithm is plain partition refinement: start from the partition by
+    labelling, then repeatedly split blocks whose members can reach different
+    sets of blocks through some agent's accessibility relation.
+    """
+    # Initial partition: by propositional labelling.
+    block_of = {}
+    blocks = defaultdict(list)
+    for world in structure.worlds:
+        blocks[structure.labels(world)].append(world)
+    for index, members in enumerate(blocks.values()):
+        for world in members:
+            block_of[world] = index
+
+    changed = True
+    while changed:
+        changed = False
+        signature_groups = defaultdict(list)
+        for world in structure.worlds:
+            signature = (
+                block_of[world],
+                tuple(
+                    frozenset(block_of[v] for v in structure.accessible(agent, world))
+                    for agent in structure.agents
+                ),
+            )
+            signature_groups[signature].append(world)
+        new_block_of = {}
+        for index, members in enumerate(signature_groups.values()):
+            for world in members:
+                new_block_of[world] = index
+        if len(set(new_block_of.values())) != len(set(block_of.values())):
+            changed = True
+        block_of = new_block_of
+
+    classes = defaultdict(list)
+    for world, index in block_of.items():
+        classes[index].append(world)
+    return [frozenset(members) for members in classes.values()]
+
+
+def are_bisimilar(structure, world_a, world_b):
+    """Return ``True`` if the two worlds lie in the same bisimulation class."""
+    if world_a not in structure or world_b not in structure:
+        raise ModelError("both worlds must belong to the structure")
+    for cls in bisimulation_classes(structure):
+        if world_a in cls:
+            return world_b in cls
+    return False
+
+
+def quotient_structure(structure, classes=None):
+    """Return the quotient of ``structure`` by its bisimulation classes.
+
+    The worlds of the quotient are frozensets of original worlds; a quotient
+    world is ``a``-accessible from another iff some representative pair is.
+    The quotient satisfies exactly the same epistemic formulas at
+    corresponding worlds.
+    """
+    if classes is None:
+        classes = bisimulation_classes(structure)
+    class_of = {}
+    for cls in classes:
+        for world in cls:
+            class_of[world] = cls
+    missing = set(structure.worlds) - set(class_of)
+    if missing:
+        raise ModelError(f"classes do not cover worlds {sorted(map(repr, missing))}")
+
+    labelling = {cls: structure.labels(next(iter(cls))) for cls in classes}
+    accessibility = {}
+    for agent in structure.agents:
+        agent_map = {cls: set() for cls in classes}
+        for world in structure.worlds:
+            for successor in structure.accessible(agent, world):
+                agent_map[class_of[world]].add(class_of[successor])
+        accessibility[agent] = {cls: frozenset(succ) for cls, succ in agent_map.items()}
+    return EpistemicStructure(list(classes), accessibility, labelling, agents=structure.agents)

@@ -1,0 +1,134 @@
+"""Convenient constructors for epistemic structures.
+
+Most structures in the paper are induced by *observability*: two worlds are
+indistinguishable to agent ``a`` exactly when every proposition (or variable)
+the agent can observe has the same truth value in both.  These builders
+construct the corresponding S5 structures.
+"""
+
+from collections import defaultdict
+
+from repro.kripke.structure import EpistemicStructure
+from repro.util.errors import ModelError
+
+
+def structure_from_labels(labelling, observables, agents=None):
+    """Build an S5 structure from a labelling and per-agent observable sets.
+
+    Parameters
+    ----------
+    labelling:
+        Mapping ``world -> iterable of true propositions``.
+    observables:
+        Mapping ``agent -> iterable of proposition names`` the agent can
+        observe.  Two worlds are ``a``-indistinguishable iff they agree on
+        all propositions in ``observables[a]``.
+    agents:
+        Optional explicit list of agents (defaults to ``observables`` keys).
+
+    Returns
+    -------
+    EpistemicStructure
+        With one equivalence relation per agent.
+    """
+    worlds = list(labelling)
+    if agents is None:
+        agents = list(observables)
+
+    label_map = {world: frozenset(props) for world, props in labelling.items()}
+    accessibility = {}
+    for agent in agents:
+        observed = frozenset(observables.get(agent, ()))
+        view = {world: label_map[world] & observed for world in worlds}
+        groups = defaultdict(list)
+        for world in worlds:
+            groups[view[world]].append(world)
+        agent_map = {}
+        for members in groups.values():
+            cell = frozenset(members)
+            for world in members:
+                agent_map[world] = cell
+        accessibility[agent] = agent_map
+
+    return EpistemicStructure(worlds, accessibility, label_map, agents=agents)
+
+
+def structure_from_observations(worlds, observation, labelling, agents):
+    """Build an S5 structure from an observation *function*.
+
+    ``observation(agent, world)`` must return a hashable value; two worlds
+    are ``a``-indistinguishable iff the observations coincide.
+    """
+    worlds = list(worlds)
+    accessibility = {}
+    for agent in agents:
+        groups = defaultdict(list)
+        for world in worlds:
+            groups[observation(agent, world)].append(world)
+        agent_map = {}
+        for members in groups.values():
+            cell = frozenset(members)
+            for world in members:
+                agent_map[world] = cell
+        accessibility[agent] = agent_map
+    return EpistemicStructure(worlds, accessibility, labelling, agents=agents)
+
+
+def structure_from_local_states(global_states, local_state_of, labelling, agents):
+    """Build the S5 structure induced by *local-state equality*.
+
+    This is the knowledge relation of interpreted systems: agent ``a``
+    cannot distinguish two global states with the same ``a``-local state.
+
+    ``local_state_of(agent, global_state)`` must return a hashable value.
+    """
+    return structure_from_observations(global_states, local_state_of, labelling, agents)
+
+
+def structure_from_partition(partitions, labelling, agents=None):
+    """Build an S5 structure from explicit per-agent partitions.
+
+    ``partitions`` maps each agent to an iterable of blocks (iterables of
+    worlds); the blocks must be pairwise disjoint and jointly cover the
+    worlds of ``labelling``.
+    """
+    worlds = set(labelling)
+    if agents is None:
+        agents = list(partitions)
+    accessibility = {}
+    for agent in agents:
+        blocks = [frozenset(block) for block in partitions.get(agent, [])]
+        covered = set()
+        agent_map = {}
+        for block in blocks:
+            if block & covered:
+                raise ModelError(f"partition blocks of agent {agent!r} overlap")
+            unknown = block - worlds
+            if unknown:
+                raise ModelError(
+                    f"partition of agent {agent!r} mentions unknown worlds {sorted(map(repr, unknown))}"
+                )
+            covered |= block
+            for world in block:
+                agent_map[world] = block
+        missing = worlds - covered
+        for world in missing:
+            agent_map[world] = frozenset({world})
+        accessibility[agent] = agent_map
+    return EpistemicStructure(list(labelling), accessibility, labelling, agents=agents)
+
+
+def single_agent_structure(labelling, agent="a", blind=True):
+    """Build a single-agent structure.
+
+    With ``blind=True`` the agent considers *all* worlds possible everywhere
+    (the "blind agent" of the variable-setting examples); otherwise the agent
+    has perfect information (identity relation).
+    """
+    worlds = list(labelling)
+    if blind:
+        cell = frozenset(worlds)
+        agent_map = {world: cell for world in worlds}
+    else:
+        agent_map = {world: frozenset({world}) for world in worlds}
+    return EpistemicStructure(worlds, {agent: agent_map}, labelling, agents=[agent])

@@ -1,0 +1,79 @@
+"""Epistemic logic: formulas, parsing, normal forms and satisfaction.
+
+This package provides the logical language used by knowledge-based programs
+(Fagin, Halpern, Moses, Vardi; PODC 1995): propositional logic extended with
+the knowledge modalities ``K_a`` (agent ``a`` knows), its dual ``M_a`` (agent
+``a`` considers possible), everyone-knows ``E_G``, common knowledge ``C_G``
+and distributed knowledge ``D_G`` for groups of agents ``G``.
+
+The main entry points are:
+
+* the formula constructors in :mod:`repro.logic.formula`
+  (:class:`Prop`, :class:`Not`, :class:`And`, :class:`Or`, :class:`Implies`,
+  :class:`Iff`, :class:`Knows`, :class:`Possible`, :class:`EveryoneKnows`,
+  :class:`CommonKnows`, :class:`DistributedKnows`);
+* :func:`repro.logic.parser.parse` for the concrete syntax
+  (``"K[R] bit & !K[S] K[R] bit"``);
+* :func:`repro.logic.nnf.to_nnf` and :func:`repro.logic.nnf.simplify`;
+* :func:`repro.logic.semantics.holds` /
+  :func:`repro.logic.semantics.extension` for satisfaction over the epistemic
+  (Kripke) structures of :mod:`repro.kripke`.
+"""
+
+from repro.logic.formula import (
+    Formula,
+    Prop,
+    TrueFormula,
+    FalseFormula,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Knows,
+    Possible,
+    EveryoneKnows,
+    CommonKnows,
+    DistributedKnows,
+    TRUE,
+    FALSE,
+    prop,
+    knows,
+    possible,
+    conj,
+    disj,
+)
+from repro.logic.parser import parse
+from repro.logic.nnf import to_nnf, simplify, is_in_nnf
+from repro.logic.semantics import holds, extension, knowledge_depth
+
+__all__ = [
+    "Formula",
+    "Prop",
+    "TrueFormula",
+    "FalseFormula",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Knows",
+    "Possible",
+    "EveryoneKnows",
+    "CommonKnows",
+    "DistributedKnows",
+    "TRUE",
+    "FALSE",
+    "prop",
+    "knows",
+    "possible",
+    "conj",
+    "disj",
+    "parse",
+    "to_nnf",
+    "simplify",
+    "is_in_nnf",
+    "holds",
+    "extension",
+    "knowledge_depth",
+]

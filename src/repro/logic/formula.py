@@ -1,0 +1,500 @@
+"""Abstract syntax of epistemic formulas.
+
+Formulas are immutable, hashable trees.  The grammar is
+
+.. code-block:: text
+
+    phi ::= p | true | false | !phi | phi & phi | phi | phi
+          | phi -> phi | phi <-> phi
+          | K[a] phi | M[a] phi | E[G] phi | C[G] phi | D[G] phi
+
+where ``p`` ranges over proposition names (strings), ``a`` over agent names
+and ``G`` over non-empty groups of agent names.
+
+Python operator overloading mirrors the connectives so formulas can be built
+fluently::
+
+    >>> from repro.logic import prop, knows
+    >>> bit = prop("bit")
+    >>> guard = knows("R", bit) & ~knows("S", knows("R", bit))
+    >>> str(guard)
+    '(K[R] bit & !K[S] K[R] bit)'
+"""
+
+from functools import reduce
+
+
+class Formula:
+    """Base class of all epistemic formulas.
+
+    Subclasses are immutable value objects: equality and hashing are
+    structural, and every construction canonicalises its arguments (e.g.
+    groups of agents are stored as sorted tuples).
+    """
+
+    __slots__ = ("_hash",)
+
+    # -- construction helpers -------------------------------------------------
+
+    def __and__(self, other):
+        return And((self, _as_formula(other)))
+
+    def __rand__(self, other):
+        return And((_as_formula(other), self))
+
+    def __or__(self, other):
+        return Or((self, _as_formula(other)))
+
+    def __ror__(self, other):
+        return Or((_as_formula(other), self))
+
+    def __invert__(self):
+        return Not(self)
+
+    def __rshift__(self, other):
+        """``phi >> psi`` builds the implication ``phi -> psi``."""
+        return Implies(self, _as_formula(other))
+
+    def implies(self, other):
+        return Implies(self, _as_formula(other))
+
+    def iff(self, other):
+        return Iff(self, _as_formula(other))
+
+    # -- structural queries ----------------------------------------------------
+
+    def atoms(self):
+        """Return the set of proposition names occurring in the formula."""
+        result = set()
+        self._collect_atoms(result)
+        return result
+
+    def agents(self):
+        """Return the set of agent names occurring in knowledge modalities."""
+        result = set()
+        self._collect_agents(result)
+        return result
+
+    def subformulas(self):
+        """Return all subformulas (including the formula itself) in a
+        bottom-up order without duplicates."""
+        seen = []
+        seen_set = set()
+
+        def visit(node):
+            for child in node.children():
+                visit(child)
+            if node not in seen_set:
+                seen_set.add(node)
+                seen.append(node)
+
+        visit(self)
+        return seen
+
+    def children(self):
+        """Return the immediate subformulas."""
+        return ()
+
+    def is_propositional(self):
+        """Return ``True`` if the formula contains no epistemic modality."""
+        return not any(
+            isinstance(sub, (Knows, Possible, EveryoneKnows, CommonKnows, DistributedKnows))
+            for sub in self.subformulas()
+        )
+
+    def modal_depth(self):
+        """Return the maximal nesting depth of epistemic modalities."""
+        child_depth = max((child.modal_depth() for child in self.children()), default=0)
+        if isinstance(self, (Knows, Possible, EveryoneKnows, CommonKnows, DistributedKnows)):
+            return child_depth + 1
+        return child_depth
+
+    def substitute(self, mapping):
+        """Return the formula with propositions replaced according to
+        ``mapping`` (proposition name -> :class:`Formula`)."""
+        return self._substitute({name: _as_formula(value) for name, value in mapping.items()})
+
+    # -- hooks for subclasses --------------------------------------------------
+
+    def _collect_atoms(self, out):
+        for child in self.children():
+            child._collect_atoms(out)
+
+    def _collect_agents(self, out):
+        for child in self.children():
+            child._collect_agents(out)
+
+    def _substitute(self, mapping):
+        raise NotImplementedError
+
+    # -- value semantics -------------------------------------------------------
+
+    def _key(self):
+        raise NotImplementedError
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __hash__(self):
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((type(self).__name__, self._key()))
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self._key()!r})"
+
+
+def _as_formula(value):
+    """Coerce strings and booleans into formulas; pass formulas through."""
+    if isinstance(value, Formula):
+        return value
+    if isinstance(value, str):
+        return Prop(value)
+    if value is True:
+        return TRUE
+    if value is False:
+        return FALSE
+    raise TypeError(f"cannot interpret {value!r} as a formula")
+
+
+class Prop(Formula):
+    """An atomic proposition, identified by its name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"proposition name must be a non-empty string, got {name!r}")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Prop is immutable")
+
+    def _key(self):
+        return self.name
+
+    def _collect_atoms(self, out):
+        out.add(self.name)
+
+    def _substitute(self, mapping):
+        return mapping.get(self.name, self)
+
+    def __str__(self):
+        return self.name
+
+
+class TrueFormula(Formula):
+    """The constant ``true``."""
+
+    __slots__ = ()
+
+    def _key(self):
+        return ()
+
+    def _substitute(self, mapping):
+        return self
+
+    def __str__(self):
+        return "true"
+
+
+class FalseFormula(Formula):
+    """The constant ``false``."""
+
+    __slots__ = ()
+
+    def _key(self):
+        return ()
+
+    def _substitute(self, mapping):
+        return self
+
+    def __str__(self):
+        return "false"
+
+
+TRUE = TrueFormula()
+FALSE = FalseFormula()
+
+
+class Not(Formula):
+    """Negation ``!phi``."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand):
+        object.__setattr__(self, "operand", _as_formula(operand))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Not is immutable")
+
+    def children(self):
+        return (self.operand,)
+
+    def _key(self):
+        return self.operand
+
+    def _substitute(self, mapping):
+        return Not(self.operand._substitute(mapping))
+
+    def __str__(self):
+        return f"!{self.operand}"
+
+
+class _NaryConnective(Formula):
+    """Shared implementation of the n-ary connectives ``&`` and ``|``."""
+
+    __slots__ = ("operands",)
+    _symbol = "?"
+
+    def __init__(self, operands):
+        flattened = []
+        for operand in operands:
+            operand = _as_formula(operand)
+            if type(operand) is type(self):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        if not flattened:
+            raise ValueError(f"{type(self).__name__} requires at least one operand")
+        object.__setattr__(self, "operands", tuple(flattened))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("connectives are immutable")
+
+    def children(self):
+        return self.operands
+
+    def _key(self):
+        return self.operands
+
+    def __str__(self):
+        inner = f" {self._symbol} ".join(str(operand) for operand in self.operands)
+        return f"({inner})"
+
+
+class And(_NaryConnective):
+    """Conjunction; nested conjunctions are flattened on construction."""
+
+    __slots__ = ()
+    _symbol = "&"
+
+    def _substitute(self, mapping):
+        return And(tuple(op._substitute(mapping) for op in self.operands))
+
+
+class Or(_NaryConnective):
+    """Disjunction; nested disjunctions are flattened on construction."""
+
+    __slots__ = ()
+    _symbol = "|"
+
+    def _substitute(self, mapping):
+        return Or(tuple(op._substitute(mapping) for op in self.operands))
+
+
+class Implies(Formula):
+    """Implication ``phi -> psi``."""
+
+    __slots__ = ("antecedent", "consequent")
+
+    def __init__(self, antecedent, consequent):
+        object.__setattr__(self, "antecedent", _as_formula(antecedent))
+        object.__setattr__(self, "consequent", _as_formula(consequent))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Implies is immutable")
+
+    def children(self):
+        return (self.antecedent, self.consequent)
+
+    def _key(self):
+        return (self.antecedent, self.consequent)
+
+    def _substitute(self, mapping):
+        return Implies(
+            self.antecedent._substitute(mapping), self.consequent._substitute(mapping)
+        )
+
+    def __str__(self):
+        return f"({self.antecedent} -> {self.consequent})"
+
+
+class Iff(Formula):
+    """Bi-implication ``phi <-> psi``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right):
+        object.__setattr__(self, "left", _as_formula(left))
+        object.__setattr__(self, "right", _as_formula(right))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Iff is immutable")
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _key(self):
+        return (self.left, self.right)
+
+    def _substitute(self, mapping):
+        return Iff(self.left._substitute(mapping), self.right._substitute(mapping))
+
+    def __str__(self):
+        return f"({self.left} <-> {self.right})"
+
+
+class _UnaryModality(Formula):
+    """Shared implementation of the single-agent modalities ``K`` and ``M``."""
+
+    __slots__ = ("agent", "operand")
+    _symbol = "?"
+
+    def __init__(self, agent, operand):
+        if not isinstance(agent, str) or not agent:
+            raise ValueError(f"agent name must be a non-empty string, got {agent!r}")
+        object.__setattr__(self, "agent", agent)
+        object.__setattr__(self, "operand", _as_formula(operand))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("modalities are immutable")
+
+    def children(self):
+        return (self.operand,)
+
+    def _key(self):
+        return (self.agent, self.operand)
+
+    def _collect_agents(self, out):
+        out.add(self.agent)
+        self.operand._collect_agents(out)
+
+    def __str__(self):
+        return f"{self._symbol}[{self.agent}] {self.operand}"
+
+
+class Knows(_UnaryModality):
+    """``K[a] phi`` — agent ``a`` knows ``phi``."""
+
+    __slots__ = ()
+    _symbol = "K"
+
+    def _substitute(self, mapping):
+        return Knows(self.agent, self.operand._substitute(mapping))
+
+
+class Possible(_UnaryModality):
+    """``M[a] phi`` — agent ``a`` considers ``phi`` possible (dual of ``K``)."""
+
+    __slots__ = ()
+    _symbol = "M"
+
+    def _substitute(self, mapping):
+        return Possible(self.agent, self.operand._substitute(mapping))
+
+
+class _GroupModality(Formula):
+    """Shared implementation of the group modalities ``E``, ``C`` and ``D``."""
+
+    __slots__ = ("group", "operand")
+    _symbol = "?"
+
+    def __init__(self, group, operand):
+        if isinstance(group, str):
+            group = (group,)
+        group = tuple(sorted(set(group)))
+        if not group or not all(isinstance(a, str) and a for a in group):
+            raise ValueError(f"group must be a non-empty collection of agent names, got {group!r}")
+        object.__setattr__(self, "group", group)
+        object.__setattr__(self, "operand", _as_formula(operand))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("modalities are immutable")
+
+    def children(self):
+        return (self.operand,)
+
+    def _key(self):
+        return (self.group, self.operand)
+
+    def _collect_agents(self, out):
+        out.update(self.group)
+        self.operand._collect_agents(out)
+
+    def __str__(self):
+        return f"{self._symbol}[{','.join(self.group)}] {self.operand}"
+
+
+class EveryoneKnows(_GroupModality):
+    """``E[G] phi`` — every agent in ``G`` knows ``phi``."""
+
+    __slots__ = ()
+    _symbol = "E"
+
+    def _substitute(self, mapping):
+        return EveryoneKnows(self.group, self.operand._substitute(mapping))
+
+
+class CommonKnows(_GroupModality):
+    """``C[G] phi`` — ``phi`` is common knowledge among the agents in ``G``."""
+
+    __slots__ = ()
+    _symbol = "C"
+
+    def _substitute(self, mapping):
+        return CommonKnows(self.group, self.operand._substitute(mapping))
+
+
+class DistributedKnows(_GroupModality):
+    """``D[G] phi`` — ``phi`` is distributed knowledge among ``G``."""
+
+    __slots__ = ()
+    _symbol = "D"
+
+    def _substitute(self, mapping):
+        return DistributedKnows(self.group, self.operand._substitute(mapping))
+
+
+# -- convenience constructors --------------------------------------------------
+
+
+def prop(name):
+    """Return the atomic proposition ``name``."""
+    return Prop(name)
+
+
+def knows(agent, formula):
+    """Return ``K[agent] formula``."""
+    return Knows(agent, formula)
+
+
+def possible(agent, formula):
+    """Return ``M[agent] formula``."""
+    return Possible(agent, formula)
+
+
+def conj(formulas):
+    """Return the conjunction of ``formulas`` (``true`` if empty)."""
+    formulas = [_as_formula(f) for f in formulas]
+    if not formulas:
+        return TRUE
+    if len(formulas) == 1:
+        return formulas[0]
+    return reduce(lambda a, b: And((a, b)), formulas)
+
+
+def disj(formulas):
+    """Return the disjunction of ``formulas`` (``false`` if empty)."""
+    formulas = [_as_formula(f) for f in formulas]
+    if not formulas:
+        return FALSE
+    if len(formulas) == 1:
+        return formulas[0]
+    return reduce(lambda a, b: Or((a, b)), formulas)

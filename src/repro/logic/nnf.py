@@ -1,0 +1,210 @@
+"""Negation normal form and light-weight simplification of formulas.
+
+A formula is in *negation normal form* (NNF) when negation is only applied to
+atomic propositions and the remaining connectives are ``&``, ``|`` and the
+modalities ``K``, ``M``, ``E``, ``C``, ``D``.  Implications and
+bi-implications are expanded.  The knowledge modalities are dualised as in
+the paper: ``!K[a] phi`` becomes ``M[a] !phi`` and vice versa; for the group
+modalities the dual of ``E``/``C``/``D`` is expressed through negation pushed
+below the modality only where a proper dual exists (``E``), otherwise the
+negation is kept directly above the modality (``C``/``D`` have no primitive
+dual in the language; see :func:`to_nnf`).
+"""
+
+from repro.logic.formula import (
+    TRUE,
+    FALSE,
+    Prop,
+    TrueFormula,
+    FalseFormula,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Knows,
+    Possible,
+    EveryoneKnows,
+    CommonKnows,
+    DistributedKnows,
+    conj,
+    disj,
+)
+from repro.util.errors import FormulaError
+
+
+def to_nnf(formula):
+    """Return an equivalent formula in negation normal form.
+
+    Bi-implications are expanded to a conjunction of implications, and
+    implications to disjunctions, before negations are pushed inward.
+    Negations that reach a :class:`CommonKnows` or :class:`DistributedKnows`
+    modality remain in place (the language has no primitive dual for them);
+    such formulas still count as NNF for the purposes of
+    :func:`is_in_nnf`.
+    """
+    return _nnf(formula, negate=False)
+
+
+def _nnf(formula, negate):
+    if isinstance(formula, TrueFormula):
+        return FALSE if negate else TRUE
+    if isinstance(formula, FalseFormula):
+        return TRUE if negate else FALSE
+    if isinstance(formula, Prop):
+        return Not(formula) if negate else formula
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not negate)
+    if isinstance(formula, And):
+        parts = tuple(_nnf(op, negate) for op in formula.operands)
+        return Or(parts) if negate else And(parts)
+    if isinstance(formula, Or):
+        parts = tuple(_nnf(op, negate) for op in formula.operands)
+        return And(parts) if negate else Or(parts)
+    if isinstance(formula, Implies):
+        # phi -> psi  ==  !phi | psi
+        rewritten = Or((Not(formula.antecedent), formula.consequent))
+        return _nnf(rewritten, negate)
+    if isinstance(formula, Iff):
+        rewritten = And(
+            (
+                Or((Not(formula.left), formula.right)),
+                Or((Not(formula.right), formula.left)),
+            )
+        )
+        return _nnf(rewritten, negate)
+    if isinstance(formula, Knows):
+        if negate:
+            return Possible(formula.agent, _nnf(formula.operand, True))
+        return Knows(formula.agent, _nnf(formula.operand, False))
+    if isinstance(formula, Possible):
+        if negate:
+            return Knows(formula.agent, _nnf(formula.operand, True))
+        return Possible(formula.agent, _nnf(formula.operand, False))
+    if isinstance(formula, EveryoneKnows):
+        # E[G] phi == /\_{a in G} K[a] phi; its dual is \/_{a in G} M[a] !phi.
+        if negate:
+            return disj([Possible(agent, _nnf(formula.operand, True)) for agent in formula.group])
+        return EveryoneKnows(formula.group, _nnf(formula.operand, False))
+    if isinstance(formula, (CommonKnows, DistributedKnows)):
+        inner = _nnf(formula.operand, False)
+        rebuilt = type(formula)(formula.group, inner)
+        return Not(rebuilt) if negate else rebuilt
+    raise FormulaError(f"cannot normalise unknown formula node {formula!r}")
+
+
+def is_in_nnf(formula):
+    """Return ``True`` if negation only occurs in front of propositions or in
+    front of ``C``/``D`` modalities (which have no primitive dual)."""
+    if isinstance(formula, Not):
+        return isinstance(formula.operand, (Prop, CommonKnows, DistributedKnows)) and is_in_nnf(
+            formula.operand
+        )
+    if isinstance(formula, (Implies, Iff)):
+        return False
+    return all(is_in_nnf(child) for child in formula.children())
+
+
+def simplify(formula):
+    """Perform constant propagation and idempotence simplification.
+
+    The result is logically equivalent to the input.  Simplification is
+    syntactic only (no satisfiability checks): ``true``/``false`` constants
+    are propagated through every connective and modality, duplicate operands
+    of ``&``/``|`` are removed, and double negation is eliminated.
+    """
+    if isinstance(formula, (Prop, TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Not):
+        inner = simplify(formula.operand)
+        if isinstance(inner, TrueFormula):
+            return FALSE
+        if isinstance(inner, FalseFormula):
+            return TRUE
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+    if isinstance(formula, And):
+        operands = []
+        for operand in formula.operands:
+            operand = simplify(operand)
+            if isinstance(operand, FalseFormula):
+                return FALSE
+            if isinstance(operand, TrueFormula):
+                continue
+            if isinstance(operand, And):
+                operands.extend(operand.operands)
+            else:
+                operands.append(operand)
+        unique = []
+        for operand in operands:
+            if operand not in unique:
+                unique.append(operand)
+        return conj(unique)
+    if isinstance(formula, Or):
+        operands = []
+        for operand in formula.operands:
+            operand = simplify(operand)
+            if isinstance(operand, TrueFormula):
+                return TRUE
+            if isinstance(operand, FalseFormula):
+                continue
+            if isinstance(operand, Or):
+                operands.extend(operand.operands)
+            else:
+                operands.append(operand)
+        unique = []
+        for operand in operands:
+            if operand not in unique:
+                unique.append(operand)
+        return disj(unique)
+    if isinstance(formula, Implies):
+        antecedent = simplify(formula.antecedent)
+        consequent = simplify(formula.consequent)
+        if isinstance(antecedent, FalseFormula) or isinstance(consequent, TrueFormula):
+            return TRUE
+        if isinstance(antecedent, TrueFormula):
+            return consequent
+        if isinstance(consequent, FalseFormula):
+            return simplify(Not(antecedent))
+        return Implies(antecedent, consequent)
+    if isinstance(formula, Iff):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if left == right:
+            return TRUE
+        if isinstance(left, TrueFormula):
+            return right
+        if isinstance(right, TrueFormula):
+            return left
+        if isinstance(left, FalseFormula):
+            return simplify(Not(right))
+        if isinstance(right, FalseFormula):
+            return simplify(Not(left))
+        return Iff(left, right)
+    if isinstance(formula, Knows):
+        inner = simplify(formula.operand)
+        if isinstance(inner, TrueFormula):
+            return TRUE
+        return Knows(formula.agent, inner)
+    if isinstance(formula, Possible):
+        inner = simplify(formula.operand)
+        if isinstance(inner, FalseFormula):
+            return FALSE
+        return Possible(formula.agent, inner)
+    if isinstance(formula, EveryoneKnows):
+        inner = simplify(formula.operand)
+        if isinstance(inner, TrueFormula):
+            return TRUE
+        return EveryoneKnows(formula.group, inner)
+    if isinstance(formula, CommonKnows):
+        inner = simplify(formula.operand)
+        if isinstance(inner, TrueFormula):
+            return TRUE
+        return CommonKnows(formula.group, inner)
+    if isinstance(formula, DistributedKnows):
+        inner = simplify(formula.operand)
+        if isinstance(inner, TrueFormula):
+            return TRUE
+        return DistributedKnows(formula.group, inner)
+    raise FormulaError(f"cannot simplify unknown formula node {formula!r}")

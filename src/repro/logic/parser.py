@@ -1,0 +1,245 @@
+"""A small recursive-descent parser for the concrete formula syntax.
+
+Grammar (lowest to highest precedence)::
+
+    formula   ::= iff
+    iff       ::= implies ( '<->' implies )*
+    implies   ::= or ( '->' implies )?          # right associative
+    or        ::= and ( '|' and )*
+    and       ::= unary ( '&' unary )*
+    unary     ::= '!' unary | 'not' unary
+                | 'K' '[' agent ']' unary
+                | 'M' '[' agent ']' unary
+                | 'E' '[' agents ']' unary
+                | 'C' '[' agents ']' unary
+                | 'D' '[' agents ']' unary
+                | atom
+    atom      ::= 'true' | 'false' | IDENT | '(' formula ')'
+
+Identifiers may contain letters, digits, ``_``, ``.``, ``=`` and ``'`` so that
+proposition names such as ``x=3`` or ``rcvd.0`` read naturally.
+
+Example::
+
+    >>> from repro.logic import parse
+    >>> str(parse("K[R] bit & !K[S] K[R] bit"))
+    '(K[R] bit & !K[S] K[R] bit)'
+"""
+
+import re
+
+from repro.logic.formula import (
+    TRUE,
+    FALSE,
+    Prop,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Knows,
+    Possible,
+    EveryoneKnows,
+    CommonKnows,
+    DistributedKnows,
+)
+from repro.util.errors import ParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<iff><->)
+  | (?P<implies>->)
+  | (?P<and>&&?|/\\)
+  | (?P<or>\|\|?|\\/)
+  | (?P<not>!|~)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<comma>,)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.'=]*)
+    """,
+    re.VERBOSE,
+)
+
+_MODALITIES = {"K": Knows, "M": Possible}
+_GROUP_MODALITIES = {"E": EveryoneKnows, "C": CommonKnows, "D": DistributedKnows}
+_KEYWORDS = {"true", "false", "not", "and", "or", "implies"}
+
+
+class _Token:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind, value, position):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def __repr__(self):
+        return f"_Token({self.kind!r}, {self.value!r}, {self.position})"
+
+
+def _tokenize(text):
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r}", text=text, position=position
+            )
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    @property
+    def current(self):
+        return self.tokens[self.index]
+
+    def advance(self):
+        token = self.current
+        self.index += 1
+        return token
+
+    def expect(self, kind):
+        if self.current.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {self.current.value!r}",
+                text=self.text,
+                position=self.current.position,
+            )
+        return self.advance()
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self):
+        formula = self.parse_iff()
+        if self.current.kind != "eof":
+            raise ParseError(
+                f"unexpected trailing input {self.current.value!r}",
+                text=self.text,
+                position=self.current.position,
+            )
+        return formula
+
+    def parse_iff(self):
+        left = self.parse_implies()
+        while self.current.kind == "iff":
+            self.advance()
+            right = self.parse_implies()
+            left = Iff(left, right)
+        return left
+
+    def parse_implies(self):
+        left = self.parse_or()
+        if self.current.kind == "implies" or (
+            self.current.kind == "ident" and self.current.value == "implies"
+        ):
+            self.advance()
+            right = self.parse_implies()
+            return Implies(left, right)
+        return left
+
+    def parse_or(self):
+        operands = [self.parse_and()]
+        while self.current.kind == "or" or (
+            self.current.kind == "ident" and self.current.value == "or"
+        ):
+            self.advance()
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(tuple(operands))
+
+    def parse_and(self):
+        operands = [self.parse_unary()]
+        while self.current.kind == "and" or (
+            self.current.kind == "ident" and self.current.value == "and"
+        ):
+            self.advance()
+            operands.append(self.parse_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return And(tuple(operands))
+
+    def parse_unary(self):
+        token = self.current
+        if token.kind == "not" or (token.kind == "ident" and token.value == "not"):
+            self.advance()
+            return Not(self.parse_unary())
+        if token.kind == "ident" and token.value in _MODALITIES and self._peek_bracket():
+            self.advance()
+            agent = self._parse_agent_list(single=True)[0]
+            return _MODALITIES[token.value](agent, self.parse_unary())
+        if token.kind == "ident" and token.value in _GROUP_MODALITIES and self._peek_bracket():
+            self.advance()
+            group = self._parse_agent_list(single=False)
+            return _GROUP_MODALITIES[token.value](group, self.parse_unary())
+        return self.parse_atom()
+
+    def _peek_bracket(self):
+        return self.tokens[self.index + 1].kind == "lbracket"
+
+    def _parse_agent_list(self, single):
+        self.expect("lbracket")
+        agents = [self.expect("ident").value]
+        while self.current.kind == "comma":
+            self.advance()
+            agents.append(self.expect("ident").value)
+        self.expect("rbracket")
+        if single and len(agents) != 1:
+            raise ParseError(
+                "single-agent modality takes exactly one agent",
+                text=self.text,
+                position=self.current.position,
+            )
+        return agents
+
+    def parse_atom(self):
+        token = self.current
+        if token.kind == "lparen":
+            self.advance()
+            formula = self.parse_iff()
+            self.expect("rparen")
+            return formula
+        if token.kind == "ident":
+            self.advance()
+            if token.value == "true":
+                return TRUE
+            if token.value == "false":
+                return FALSE
+            if token.value in _KEYWORDS:
+                raise ParseError(
+                    f"keyword {token.value!r} cannot be used as a proposition",
+                    text=self.text,
+                    position=token.position,
+                )
+            return Prop(token.value)
+        raise ParseError(
+            f"expected a formula, found {token.value!r}",
+            text=self.text,
+            position=token.position,
+        )
+
+
+def parse(text):
+    """Parse ``text`` into a :class:`repro.logic.formula.Formula`.
+
+    Raises :class:`repro.util.errors.ParseError` on malformed input.
+    """
+    if not isinstance(text, str):
+        raise TypeError(f"parse expects a string, got {type(text).__name__}")
+    return _Parser(text).parse()

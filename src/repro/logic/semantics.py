@@ -1,0 +1,115 @@
+"""Satisfaction of epistemic formulas over epistemic structures.
+
+The semantics is the classical one recalled in the paper:
+
+* ``K, w |= p`` iff ``p`` is in the labelling of ``w``;
+* ``K, w |= K[a] phi`` iff ``phi`` holds in every world ``a`` considers
+  possible at ``w``;
+* ``M[a]`` is the dual (some accessible world satisfies ``phi``);
+* ``E[G] phi`` iff every agent in ``G`` knows ``phi``;
+* ``C[G] phi`` iff ``phi`` holds at every world reachable from ``w`` by any
+  positive number of steps of the union of the ``G`` relations (equivalently,
+  ``E``, ``E E``, ``E E E``, ... all hold);
+* ``D[G] phi`` iff ``phi`` holds at every world accessible through the
+  intersection of the ``G`` relations.
+
+Evaluation is bottom-up over subformulas, computing the *extension* (set of
+worlds satisfying each subformula) once; this keeps the cost linear in
+``|formula| * |worlds| * |relation|`` and makes the evaluator usable as the
+inner loop of knowledge-based-program interpretation.
+"""
+
+from repro.logic.formula import (
+    Prop,
+    TrueFormula,
+    FalseFormula,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Knows,
+    Possible,
+    EveryoneKnows,
+    CommonKnows,
+    DistributedKnows,
+)
+from repro.util.errors import FormulaError, ModelError
+
+
+def holds(structure, world, formula):
+    """Return ``True`` iff ``structure, world |= formula``."""
+    if world not in structure:
+        raise ModelError(f"world {world!r} does not belong to the structure")
+    return world in extension(structure, formula)
+
+
+def extension(structure, formula):
+    """Return the set of worlds of ``structure`` satisfying ``formula``."""
+    cache = {}
+    return _extension(structure, formula, cache)
+
+
+def knowledge_depth(formula):
+    """Alias for :meth:`Formula.modal_depth`, kept for API symmetry."""
+    return formula.modal_depth()
+
+
+def _extension(structure, formula, cache):
+    if formula in cache:
+        return cache[formula]
+    worlds = set(structure.worlds)
+
+    if isinstance(formula, TrueFormula):
+        result = worlds
+    elif isinstance(formula, FalseFormula):
+        result = set()
+    elif isinstance(formula, Prop):
+        result = {w for w in worlds if structure.label_holds(w, formula.name)}
+    elif isinstance(formula, Not):
+        result = worlds - _extension(structure, formula.operand, cache)
+    elif isinstance(formula, And):
+        result = set(worlds)
+        for operand in formula.operands:
+            result &= _extension(structure, operand, cache)
+    elif isinstance(formula, Or):
+        result = set()
+        for operand in formula.operands:
+            result |= _extension(structure, operand, cache)
+    elif isinstance(formula, Implies):
+        antecedent = _extension(structure, formula.antecedent, cache)
+        consequent = _extension(structure, formula.consequent, cache)
+        result = (worlds - antecedent) | consequent
+    elif isinstance(formula, Iff):
+        left = _extension(structure, formula.left, cache)
+        right = _extension(structure, formula.right, cache)
+        result = (left & right) | ((worlds - left) & (worlds - right))
+    elif isinstance(formula, Knows):
+        inner = _extension(structure, formula.operand, cache)
+        result = {w for w in worlds if structure.accessible(formula.agent, w) <= inner}
+    elif isinstance(formula, Possible):
+        inner = _extension(structure, formula.operand, cache)
+        result = {w for w in worlds if structure.accessible(formula.agent, w) & inner}
+    elif isinstance(formula, EveryoneKnows):
+        inner = _extension(structure, formula.operand, cache)
+        result = set()
+        for w in worlds:
+            if all(structure.accessible(agent, w) <= inner for agent in formula.group):
+                result.add(w)
+    elif isinstance(formula, CommonKnows):
+        inner = _extension(structure, formula.operand, cache)
+        adjacency = structure.group_relation(formula.group, mode="union")
+        result = set()
+        for w in worlds:
+            reachable = structure.reachable_via(adjacency, adjacency.get(w, frozenset()))
+            if reachable <= inner:
+                result.add(w)
+    elif isinstance(formula, DistributedKnows):
+        inner = _extension(structure, formula.operand, cache)
+        adjacency = structure.group_relation(formula.group, mode="intersection")
+        result = {w for w in worlds if adjacency.get(w, frozenset()) <= inner}
+    else:
+        raise FormulaError(f"cannot evaluate unknown formula node {formula!r}")
+
+    cache[formula] = result
+    return result

@@ -1,0 +1,50 @@
+"""Finite-domain variable modelling layer.
+
+The paper's examples (bit transmission, muddy children, sequence
+transmission, the variable-setting exercises) are naturally stated in terms
+of *program variables* with small finite domains, agents that can observe a
+subset of the variables, and actions that assign new values.  This package
+provides that substrate:
+
+* :class:`repro.modeling.variables.Variable` — a named finite-domain variable;
+* :mod:`repro.modeling.expressions` — a tiny expression language over
+  variables (comparisons, arithmetic, boolean connectives) that can be
+  evaluated on states and compiled to propositional epistemic formulas;
+* :class:`repro.modeling.state_space.State` and
+  :class:`repro.modeling.state_space.StateSpace` — immutable assignments of
+  values to variables, enumeration of the full state space and the induced
+  propositional labelling (one proposition ``"x=v"`` per variable/value
+  pair, plus the bare variable name for booleans);
+* :class:`repro.modeling.state_space.Assignment` — simultaneous variable
+  updates used as the effect of actions.
+"""
+
+from repro.modeling.variables import Variable, boolean, ranged, enumerated
+from repro.modeling.expressions import (
+    Expression,
+    Const,
+    VarRef,
+    Ite,
+    var,
+    const,
+    ite,
+)
+from repro.modeling.state_space import State, StateSpace, Assignment, atom_name
+
+__all__ = [
+    "Variable",
+    "boolean",
+    "ranged",
+    "enumerated",
+    "Expression",
+    "Const",
+    "VarRef",
+    "Ite",
+    "var",
+    "const",
+    "ite",
+    "State",
+    "StateSpace",
+    "Assignment",
+    "atom_name",
+]

@@ -1,0 +1,400 @@
+"""A small expression language over finite-domain variables.
+
+Expressions are built from variable references and constants using
+arithmetic (``+``, ``-``, ``*``), comparisons (``==``, ``!=``, ``<``, ``<=``,
+``>``, ``>=``) and boolean connectives (``&``, ``|``, ``~``).  They serve two
+purposes:
+
+1. **Evaluation** on a state (an assignment of values to variables), used by
+   action effects and standard (non-epistemic) guards.
+2. **Compilation to propositional formulas** over the atoms ``"x=v"``
+   (:func:`Expression.to_formula`), which is how variable-level conditions
+   such as ``x != 1`` or ``day < 5`` enter the epistemic guards of
+   knowledge-based programs: a boolean expression is equivalent to the
+   disjunction of the atoms of the satisfying assignments over the variables
+   it mentions.
+"""
+
+from itertools import product
+
+from repro.logic.formula import conj, disj, Not, Prop, TRUE, FALSE
+from repro.modeling.variables import Variable
+from repro.util.errors import ModelError
+
+
+class Expression:
+    """Base class of expressions; subclasses are immutable."""
+
+    __slots__ = ()
+
+    # -- operator overloading ---------------------------------------------------
+
+    def __add__(self, other):
+        return BinaryOp("+", self, _as_expression(other))
+
+    def __radd__(self, other):
+        return BinaryOp("+", _as_expression(other), self)
+
+    def __sub__(self, other):
+        return BinaryOp("-", self, _as_expression(other))
+
+    def __rsub__(self, other):
+        return BinaryOp("-", _as_expression(other), self)
+
+    def __mul__(self, other):
+        return BinaryOp("*", self, _as_expression(other))
+
+    def __rmul__(self, other):
+        return BinaryOp("*", _as_expression(other), self)
+
+    def __mod__(self, other):
+        return BinaryOp("%", self, _as_expression(other))
+
+    def __eq__(self, other):
+        return Comparison("==", self, _as_expression(other))
+
+    def __ne__(self, other):
+        return Comparison("!=", self, _as_expression(other))
+
+    def __lt__(self, other):
+        return Comparison("<", self, _as_expression(other))
+
+    def __le__(self, other):
+        return Comparison("<=", self, _as_expression(other))
+
+    def __gt__(self, other):
+        return Comparison(">", self, _as_expression(other))
+
+    def __ge__(self, other):
+        return Comparison(">=", self, _as_expression(other))
+
+    def __and__(self, other):
+        return BoolOp("and", (self, _as_expression(other)))
+
+    def __or__(self, other):
+        return BoolOp("or", (self, _as_expression(other)))
+
+    def __invert__(self):
+        return NotOp(self)
+
+    def __hash__(self):
+        return hash((type(self).__name__, self._key()))
+
+    def equals(self, other):
+        """Structural equality (``==`` is overloaded to build comparisons)."""
+        return type(self) is type(other) and self._key() == other._key()
+
+    # -- core API ----------------------------------------------------------------
+
+    def variables(self):
+        """Return the set of :class:`Variable` objects mentioned."""
+        out = set()
+        self._collect_variables(out)
+        return out
+
+    def evaluate(self, values):
+        """Evaluate the expression given ``values`` (mapping variable *name*
+        to value)."""
+        raise NotImplementedError
+
+    def to_formula(self):
+        """Compile a boolean expression to a propositional formula over
+        ``"x=v"`` atoms by enumerating the (finite) domains of the mentioned
+        variables."""
+        variables = sorted(self.variables(), key=lambda v: v.name)
+        if not variables:
+            return TRUE if self.evaluate({}) else FALSE
+        satisfying = []
+        names = [v.name for v in variables]
+        for combo in product(*[v.domain for v in variables]):
+            assignment = dict(zip(names, combo))
+            if self.evaluate(assignment):
+                satisfying.append(
+                    conj(
+                        [
+                            _value_literal(variables[i], combo[i])
+                            for i in range(len(variables))
+                        ]
+                    )
+                )
+        return disj(satisfying)
+
+    # -- hooks --------------------------------------------------------------------
+
+    def _collect_variables(self, out):
+        raise NotImplementedError
+
+    def _key(self):
+        raise NotImplementedError
+
+
+def atom_name_for(variable, value):
+    """The canonical proposition name for ``variable == value``.
+
+    Boolean variables are represented by the single atom ``variable.name``
+    (false is expressed by negation); other variables use ``"name=value"``.
+    """
+    if variable.is_boolean:
+        return variable.name
+    return f"{variable.name}={value}"
+
+
+def _value_literal(variable, value):
+    """The propositional literal expressing ``variable == value`` under the
+    labelling convention of :mod:`repro.modeling.state_space`."""
+    if variable.is_boolean:
+        atom = Prop(variable.name)
+        return atom if value else Not(atom)
+    return Prop(atom_name_for(variable, value))
+
+
+def _as_expression(value):
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, Variable):
+        return VarRef(value)
+    return Const(value)
+
+
+class Const(Expression):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Const is immutable")
+
+    def evaluate(self, values):
+        return self.value
+
+    def _collect_variables(self, out):
+        pass
+
+    def _key(self):
+        return self.value
+
+    def __repr__(self):
+        return f"Const({self.value!r})"
+
+    def __str__(self):
+        return str(self.value)
+
+
+class VarRef(Expression):
+    """A reference to a variable."""
+
+    __slots__ = ("variable",)
+
+    def __init__(self, variable):
+        if not isinstance(variable, Variable):
+            raise ModelError(f"VarRef expects a Variable, got {variable!r}")
+        object.__setattr__(self, "variable", variable)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("VarRef is immutable")
+
+    def evaluate(self, values):
+        try:
+            return values[self.variable.name]
+        except KeyError:
+            raise ModelError(f"no value for variable {self.variable.name!r}") from None
+
+    def _collect_variables(self, out):
+        out.add(self.variable)
+
+    def _key(self):
+        return self.variable
+
+    def __repr__(self):
+        return f"VarRef({self.variable.name!r})"
+
+    def __str__(self):
+        return self.variable.name
+
+
+class BinaryOp(Expression):
+    """Arithmetic binary operation (``+``, ``-``, ``*``, ``%``)."""
+
+    __slots__ = ("op", "left", "right")
+    _FUNCTIONS = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "%": lambda a, b: a % b,
+    }
+
+    def __init__(self, op, left, right):
+        if op not in self._FUNCTIONS:
+            raise ModelError(f"unknown arithmetic operator {op!r}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("BinaryOp is immutable")
+
+    def evaluate(self, values):
+        return self._FUNCTIONS[self.op](self.left.evaluate(values), self.right.evaluate(values))
+
+    def _collect_variables(self, out):
+        self.left._collect_variables(out)
+        self.right._collect_variables(out)
+
+    def _key(self):
+        return (self.op, self.left, self.right)
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+
+class Comparison(Expression):
+    """Comparison between two arithmetic expressions; evaluates to a bool."""
+
+    __slots__ = ("op", "left", "right")
+    _FUNCTIONS = {
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+
+    def __init__(self, op, left, right):
+        if op not in self._FUNCTIONS:
+            raise ModelError(f"unknown comparison operator {op!r}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Comparison is immutable")
+
+    def evaluate(self, values):
+        return self._FUNCTIONS[self.op](self.left.evaluate(values), self.right.evaluate(values))
+
+    def _collect_variables(self, out):
+        self.left._collect_variables(out)
+        self.right._collect_variables(out)
+
+    def _key(self):
+        return (self.op, self.left, self.right)
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+
+class BoolOp(Expression):
+    """Boolean conjunction/disjunction of boolean expressions."""
+
+    __slots__ = ("op", "operands")
+
+    def __init__(self, op, operands):
+        if op not in ("and", "or"):
+            raise ModelError(f"unknown boolean operator {op!r}")
+        flattened = []
+        for operand in operands:
+            operand = _as_expression(operand)
+            if isinstance(operand, BoolOp) and operand.op == op:
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "operands", tuple(flattened))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("BoolOp is immutable")
+
+    def evaluate(self, values):
+        results = (operand.evaluate(values) for operand in self.operands)
+        if self.op == "and":
+            return all(results)
+        return any(results)
+
+    def _collect_variables(self, out):
+        for operand in self.operands:
+            operand._collect_variables(out)
+
+    def _key(self):
+        return (self.op, self.operands)
+
+    def __str__(self):
+        joiner = f" {self.op} "
+        return "(" + joiner.join(str(op) for op in self.operands) + ")"
+
+
+class NotOp(Expression):
+    """Boolean negation of a boolean expression."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand):
+        object.__setattr__(self, "operand", _as_expression(operand))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("NotOp is immutable")
+
+    def evaluate(self, values):
+        return not self.operand.evaluate(values)
+
+    def _collect_variables(self, out):
+        self.operand._collect_variables(out)
+
+    def _key(self):
+        return self.operand
+
+    def __str__(self):
+        return f"(not {self.operand})"
+
+
+class Ite(Expression):
+    """Conditional expression ``ite(condition, then, otherwise)``.
+
+    The condition must be a boolean expression; the branches may be of any
+    type.  Useful for saturating counters, e.g. ``round := ite(round < cap,
+    round + 1, round)``.
+    """
+
+    __slots__ = ("condition", "then", "otherwise")
+
+    def __init__(self, condition, then, otherwise):
+        object.__setattr__(self, "condition", _as_expression(condition))
+        object.__setattr__(self, "then", _as_expression(then))
+        object.__setattr__(self, "otherwise", _as_expression(otherwise))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Ite is immutable")
+
+    def evaluate(self, values):
+        if self.condition.evaluate(values):
+            return self.then.evaluate(values)
+        return self.otherwise.evaluate(values)
+
+    def _collect_variables(self, out):
+        self.condition._collect_variables(out)
+        self.then._collect_variables(out)
+        self.otherwise._collect_variables(out)
+
+    def _key(self):
+        return (self.condition, self.then, self.otherwise)
+
+    def __str__(self):
+        return f"ite({self.condition}, {self.then}, {self.otherwise})"
+
+
+def ite(condition, then, otherwise):
+    """Build a conditional expression (see :class:`Ite`)."""
+    return Ite(condition, then, otherwise)
+
+
+def var(variable):
+    """Return an expression referring to ``variable``."""
+    return VarRef(variable)
+
+
+def const(value):
+    """Return a constant expression."""
+    return Const(value)

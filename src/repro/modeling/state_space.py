@@ -1,0 +1,263 @@
+"""States, state spaces and assignments over finite-domain variables.
+
+A :class:`State` is an immutable total assignment of values to a fixed set of
+variables.  A :class:`StateSpace` enumerates all states over its variables,
+provides the propositional labelling used by the epistemic machinery (one
+atom per variable/value pair; booleans use the bare name), and evaluates
+constraints.  An :class:`Assignment` is a simultaneous update of some
+variables by expressions, used as the effect of program actions.
+"""
+
+from itertools import product
+
+from repro.modeling.expressions import Expression, _as_expression, atom_name_for
+from repro.modeling.variables import Variable
+from repro.util.errors import ModelError
+
+
+def atom_name(variable, value):
+    """Public alias of the canonical atom-name convention.
+
+    ``atom_name(x, 3) == "x=3"``; for a boolean ``b``, ``atom_name(b, True)
+    == "b"``.
+    """
+    return atom_name_for(variable, value)
+
+
+class State:
+    """An immutable assignment of values to all variables of a state space."""
+
+    __slots__ = ("_values", "_key", "_hash")
+
+    def __init__(self, values):
+        items = tuple(sorted(values.items()))
+        object.__setattr__(self, "_values", dict(items))
+        object.__setattr__(self, "_key", items)
+        object.__setattr__(self, "_hash", hash(items))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("State is immutable")
+
+    def __getitem__(self, name):
+        if isinstance(name, Variable):
+            name = name.name
+        try:
+            return self._values[name]
+        except KeyError:
+            raise ModelError(f"state has no variable {name!r}") from None
+
+    def get(self, name, default=None):
+        if isinstance(name, Variable):
+            name = name.name
+        return self._values.get(name, default)
+
+    def __contains__(self, name):
+        if isinstance(name, Variable):
+            name = name.name
+        return name in self._values
+
+    def as_dict(self):
+        """Return a plain ``{name: value}`` dictionary copy."""
+        return dict(self._values)
+
+    def variables(self):
+        """Return the variable names of this state (sorted)."""
+        return tuple(name for name, _ in self._key)
+
+    def restrict(self, names):
+        """Return the sub-assignment over ``names`` as a hashable tuple.
+
+        This is how agent *local states* are carved out of global states in
+        the variable-based view: the local state of an agent is the
+        restriction of the global assignment to the agent's observable
+        variables.
+        """
+        resolved = tuple(
+            (name.name if isinstance(name, Variable) else name) for name in names
+        )
+        return tuple((name, self[name]) for name in sorted(resolved))
+
+    def update(self, changes):
+        """Return a new state with ``changes`` (mapping name/Variable -> value)."""
+        values = dict(self._values)
+        for key, value in changes.items():
+            name = key.name if isinstance(key, Variable) else key
+            if name not in values:
+                raise ModelError(f"cannot update unknown variable {name!r}")
+            values[name] = value
+        return State(values)
+
+    def satisfies(self, expression):
+        """Evaluate a boolean :class:`Expression` on this state."""
+        return bool(expression.evaluate(self._values))
+
+    def evaluate(self, expression):
+        """Evaluate an arbitrary :class:`Expression` on this state."""
+        return expression.evaluate(self._values)
+
+    def __eq__(self, other):
+        if not isinstance(other, State):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        inner = ", ".join(f"{name}={value!r}" for name, value in self._key)
+        return f"State({inner})"
+
+    def __str__(self):
+        return "{" + ", ".join(f"{name}={value}" for name, value in self._key) + "}"
+
+
+class Assignment:
+    """A simultaneous update ``x1 := e1, ..., xk := ek``.
+
+    All right-hand sides are evaluated on the *old* state before any variable
+    is written, so ``Assignment({x: y, y: x})`` swaps the two variables.
+    """
+
+    __slots__ = ("updates",)
+
+    def __init__(self, updates=None, **by_name):
+        resolved = {}
+        updates = dict(updates or {})
+        for key, value in list(updates.items()) + list(by_name.items()):
+            name = key.name if isinstance(key, Variable) else key
+            resolved[name] = _as_expression(value)
+        object.__setattr__(self, "updates", resolved)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Assignment is immutable")
+
+    def apply(self, state):
+        """Return the state obtained by applying the update to ``state``."""
+        old_values = state.as_dict()
+        changes = {name: expr.evaluate(old_values) for name, expr in self.updates.items()}
+        return state.update(changes)
+
+    def written_variables(self):
+        """Return the names of the variables written by the assignment."""
+        return set(self.updates)
+
+    def read_variables(self):
+        """Return the :class:`Variable` objects read by the right-hand sides."""
+        out = set()
+        for expr in self.updates.values():
+            out |= expr.variables()
+        return out
+
+    def __repr__(self):
+        inner = ", ".join(f"{name} := {expr}" for name, expr in sorted(self.updates.items()))
+        return f"Assignment({inner})" if inner else "Assignment(skip)"
+
+    __str__ = __repr__
+
+
+SKIP = Assignment({})
+"""The empty assignment (the ``skip`` action of the paper's programs)."""
+
+
+class StateSpace:
+    """The full finite state space over a set of variables.
+
+    Provides enumeration of states, the induced propositional labelling and
+    validation of concrete states.
+    """
+
+    def __init__(self, variables):
+        variables = list(variables)
+        names = [v.name for v in variables]
+        if len(set(names)) != len(names):
+            raise ModelError("duplicate variable names in state space")
+        for variable in variables:
+            if not isinstance(variable, Variable):
+                raise ModelError(f"expected Variable, got {variable!r}")
+        self._variables = tuple(variables)
+        self._by_name = {v.name: v for v in variables}
+
+    @property
+    def variables(self):
+        return self._variables
+
+    def variable(self, name):
+        """Return the variable called ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ModelError(f"state space has no variable {name!r}") from None
+
+    def __contains__(self, name):
+        if isinstance(name, Variable):
+            return name.name in self._by_name
+        return name in self._by_name
+
+    def size(self):
+        """Return the number of states (product of domain sizes)."""
+        total = 1
+        for variable in self._variables:
+            total *= len(variable.domain)
+        return total
+
+    def state(self, values=None, **by_name):
+        """Build and validate a :class:`State` from a value mapping."""
+        merged = {}
+        values = dict(values or {})
+        for key, value in list(values.items()) + list(by_name.items()):
+            name = key.name if isinstance(key, Variable) else key
+            if name not in self._by_name:
+                raise ModelError(f"state space has no variable {name!r}")
+            merged[name] = self._by_name[name].check(value)
+        missing = set(self._by_name) - set(merged)
+        if missing:
+            raise ModelError(f"missing values for variables {sorted(missing)}")
+        return State(merged)
+
+    def states(self, constraint=None):
+        """Iterate over all states, optionally only those satisfying a
+        boolean :class:`Expression` constraint."""
+        names = [v.name for v in self._variables]
+        domains = [v.domain for v in self._variables]
+        for combo in product(*domains):
+            state = State(dict(zip(names, combo)))
+            if constraint is None or state.satisfies(constraint):
+                yield state
+
+    def all_states(self, constraint=None):
+        """Return the list of all states (optionally filtered)."""
+        return list(self.states(constraint))
+
+    def propositions(self):
+        """Return the full set of atom names used by :meth:`labelling`."""
+        atoms = set()
+        for variable in self._variables:
+            if variable.is_boolean:
+                atoms.add(variable.name)
+            else:
+                for value in variable.domain:
+                    atoms.add(atom_name(variable, value))
+        return atoms
+
+    def labelling(self, state):
+        """Return the set of atoms true in ``state``.
+
+        Boolean variables contribute their bare name when ``True``; all
+        other variables contribute ``"name=value"``.
+        """
+        atoms = set()
+        for variable in self._variables:
+            value = state[variable.name]
+            if variable.is_boolean:
+                if value:
+                    atoms.add(variable.name)
+            else:
+                atoms.add(atom_name(variable, value))
+        return frozenset(atoms)
+
+    def labelling_map(self, states):
+        """Return ``{state: labelling}`` for the given states."""
+        return {state: self.labelling(state) for state in states}
+
+    def __repr__(self):
+        return f"StateSpace({[v.name for v in self._variables]}, size={self.size()})"

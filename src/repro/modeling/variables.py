@@ -1,0 +1,92 @@
+"""Finite-domain variables.
+
+A :class:`Variable` couples a name with a finite, ordered domain of hashable
+values.  Variables are immutable value objects; two variables are equal when
+their names and domains coincide.
+"""
+
+from repro.util.errors import ModelError
+
+
+class Variable:
+    """A named variable ranging over a finite domain.
+
+    Parameters
+    ----------
+    name:
+        Non-empty identifier; also used to derive proposition names.
+    domain:
+        Iterable of hashable values; order is preserved and duplicates are
+        rejected.
+    """
+
+    __slots__ = ("name", "domain", "_domain_set")
+
+    def __init__(self, name, domain):
+        if not isinstance(name, str) or not name:
+            raise ModelError(f"variable name must be a non-empty string, got {name!r}")
+        domain = tuple(domain)
+        if not domain:
+            raise ModelError(f"variable {name!r} must have a non-empty domain")
+        domain_set = set(domain)
+        if len(domain_set) != len(domain):
+            raise ModelError(f"variable {name!r} has duplicate domain values")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "domain", domain)
+        object.__setattr__(self, "_domain_set", frozenset(domain_set))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Variable is immutable")
+
+    def contains(self, value):
+        """Return ``True`` if ``value`` belongs to the domain."""
+        return value in self._domain_set
+
+    def check(self, value):
+        """Return ``value`` if it belongs to the domain, else raise
+        :class:`ModelError`."""
+        if not self.contains(value):
+            raise ModelError(
+                f"value {value!r} is not in the domain of variable {self.name!r} "
+                f"(domain: {list(self.domain)})"
+            )
+        return value
+
+    @property
+    def is_boolean(self):
+        """``True`` when the domain is exactly the booleans ``False``/``True``
+        (integer domains such as ``0..1`` are *not* boolean)."""
+        return len(self.domain) == 2 and all(
+            isinstance(value, bool) for value in self.domain
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, Variable):
+            return NotImplemented
+        return self.name == other.name and self.domain == other.domain
+
+    def __hash__(self):
+        return hash((self.name, self.domain))
+
+    def __repr__(self):
+        return f"Variable({self.name!r}, domain={list(self.domain)})"
+
+    def __str__(self):
+        return self.name
+
+
+def boolean(name):
+    """Create a boolean variable (domain ``False, True``)."""
+    return Variable(name, (False, True))
+
+
+def ranged(name, low, high):
+    """Create an integer variable with domain ``low..high`` inclusive."""
+    if high < low:
+        raise ModelError(f"empty range {low}..{high} for variable {name!r}")
+    return Variable(name, tuple(range(low, high + 1)))
+
+
+def enumerated(name, values):
+    """Create a variable over an explicit list of values."""
+    return Variable(name, tuple(values))

@@ -1,0 +1,35 @@
+"""Standard and knowledge-based programs.
+
+A *program* for an agent is a guarded case statement::
+
+    case of
+      if t_1 do a_1
+      ...
+      if t_k do a_k
+    end
+
+performed repeatedly: in every round the agent nondeterministically performs
+one of the actions whose test currently holds, or the fallback action
+(``noop``) when no test holds.
+
+* In a **standard program** the tests are conditions on the agent's own local
+  state (:class:`repro.programs.standard.StandardAgentProgram`); a standard
+  program directly determines a protocol.
+* In a **knowledge-based program** the tests are epistemic formulas
+  (:class:`repro.programs.knowledge_based.AgentProgram`,
+  :class:`repro.programs.knowledge_based.KnowledgeBasedProgram`); their
+  meaning depends on the interpreted system the program itself generates —
+  the circularity resolved by :mod:`repro.interpretation`.
+"""
+
+from repro.programs.clauses import Clause
+from repro.programs.knowledge_based import AgentProgram, KnowledgeBasedProgram
+from repro.programs.standard import StandardAgentProgram, StandardProgram
+
+__all__ = [
+    "Clause",
+    "AgentProgram",
+    "KnowledgeBasedProgram",
+    "StandardAgentProgram",
+    "StandardProgram",
+]

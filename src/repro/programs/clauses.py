@@ -1,0 +1,46 @@
+"""Program clauses: a guard together with the action it enables."""
+
+from repro.logic.formula import Formula
+from repro.modeling.expressions import Expression
+from repro.util.errors import ProgramError
+
+
+class Clause:
+    """One branch ``if guard do action`` of a guarded case statement.
+
+    The guard may be given as an epistemic :class:`repro.logic.formula.Formula`
+    or as a boolean :class:`repro.modeling.expressions.Expression` over
+    variables, in which case it is compiled to the equivalent propositional
+    formula over the ``"x=v"`` atoms.
+    """
+
+    __slots__ = ("guard", "action", "label")
+
+    def __init__(self, guard, action, label=None):
+        if isinstance(guard, Expression):
+            guard = guard.to_formula()
+        if not isinstance(guard, Formula):
+            raise ProgramError(
+                f"clause guard must be a Formula or boolean Expression, got {guard!r}"
+            )
+        if action is None or action == "":
+            raise ProgramError("clause action must be a non-empty label")
+        object.__setattr__(self, "guard", guard)
+        object.__setattr__(self, "action", action)
+        object.__setattr__(self, "label", label if label is not None else str(action))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Clause is immutable")
+
+    def __eq__(self, other):
+        if not isinstance(other, Clause):
+            return NotImplemented
+        return self.guard == other.guard and self.action == other.action
+
+    def __hash__(self):
+        return hash((self.guard, self.action))
+
+    def __repr__(self):
+        return f"Clause(if {self.guard} do {self.action})"
+
+    __str__ = __repr__

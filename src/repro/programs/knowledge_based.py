@@ -1,0 +1,188 @@
+"""Knowledge-based programs.
+
+A knowledge-based program ``Pg`` consists of one guarded case statement per
+agent whose tests are epistemic formulas.  Its semantics is *not* given
+directly: only relative to an interpreted system ``I`` can the tests be
+evaluated, yielding the standard protocol ``Pg^I``.  A protocol ``P``
+*implements* ``Pg`` in a context ``gamma`` when ``P = Pg^{I_rep(P, gamma)}``;
+see :mod:`repro.interpretation`.
+
+The paper requires each agent's tests to be *local*: a boolean combination of
+formulas of the form ``K_a phi`` (about the acting agent ``a``) and
+propositions determined by the agent's local state.  The library checks this
+requirement semantically at interpretation time (the guard must evaluate
+identically at all indistinguishable reachable states); the syntactic helper
+:meth:`AgentProgram.syntactically_local` performs the cheaper sufficient
+check that every proposition occurs under some ``K_a``/``M_a``.
+"""
+
+from repro.logic.formula import Formula, Knows, Possible
+from repro.programs.clauses import Clause
+from repro.systems.actions import NOOP_NAME
+from repro.util.errors import ProgramError
+
+
+class AgentProgram:
+    """The knowledge-based program of a single agent.
+
+    Parameters
+    ----------
+    agent:
+        The agent's name.
+    clauses:
+        Iterable of :class:`Clause` (or ``(guard, action)`` pairs).
+    fallback:
+        The action performed when no guard holds (default ``noop``).
+    """
+
+    def __init__(self, agent, clauses, fallback=NOOP_NAME):
+        if not isinstance(agent, str) or not agent:
+            raise ProgramError(f"agent name must be a non-empty string, got {agent!r}")
+        resolved = []
+        for clause in clauses:
+            if isinstance(clause, Clause):
+                resolved.append(clause)
+            else:
+                guard, action = clause
+                resolved.append(Clause(guard, action))
+        self.agent = agent
+        self.clauses = tuple(resolved)
+        self.fallback = fallback
+
+    def actions(self):
+        """Return all action labels that the program may perform."""
+        labels = [clause.action for clause in self.clauses]
+        if self.fallback is not None:
+            labels.append(self.fallback)
+        seen = []
+        for label in labels:
+            if label not in seen:
+                seen.append(label)
+        return tuple(seen)
+
+    def guards(self):
+        """Return the tuple of guard formulas (one per clause)."""
+        return tuple(clause.guard for clause in self.clauses)
+
+    def knowledge_subformulas(self):
+        """Return all ``K``/``M`` subformulas occurring in the guards."""
+        result = set()
+        for guard in self.guards():
+            for sub in guard.subformulas():
+                if isinstance(sub, (Knows, Possible)):
+                    result.add(sub)
+        return result
+
+    def mentions_only_own_knowledge(self):
+        """Return ``True`` if every *outermost* knowledge modality in every
+        guard is about this agent (``K_a``/``M_a`` with ``a`` the acting
+        agent), as the paper's programs require."""
+        def outermost_ok(formula):
+            if isinstance(formula, (Knows, Possible)):
+                return formula.agent == self.agent
+            return all(outermost_ok(child) for child in formula.children())
+
+        return all(outermost_ok(guard) for guard in self.guards())
+
+    def syntactically_local(self, local_propositions=()):
+        """Sufficient syntactic check for locality of the guards.
+
+        A guard is syntactically local when every proposition either belongs
+        to ``local_propositions`` (propositions determined by the agent's
+        local state, e.g. its observable variables) or occurs underneath a
+        knowledge modality of this agent.
+        """
+        local_propositions = set(local_propositions)
+
+        def check(formula, under_own_modality):
+            if isinstance(formula, (Knows, Possible)):
+                return check(formula.operand, under_own_modality or formula.agent == self.agent)
+            if not formula.children():
+                atoms = formula.atoms()
+                return under_own_modality or atoms <= local_propositions
+            return all(check(child, under_own_modality) for child in formula.children())
+
+        return all(check(guard, False) for guard in self.guards())
+
+    def __repr__(self):
+        return f"AgentProgram({self.agent!r}, {len(self.clauses)} clauses)"
+
+    def describe(self):
+        """Return a human-readable rendering of the case statement."""
+        lines = [f"program of agent {self.agent}:"]
+        for clause in self.clauses:
+            lines.append(f"  if {clause.guard} do {clause.action}")
+        lines.append(f"  otherwise do {self.fallback}")
+        return "\n".join(lines)
+
+
+class KnowledgeBasedProgram:
+    """A joint knowledge-based program: one :class:`AgentProgram` per agent."""
+
+    def __init__(self, programs):
+        if isinstance(programs, dict):
+            programs = list(programs.values())
+        resolved = {}
+        for program in programs:
+            if not isinstance(program, AgentProgram):
+                raise ProgramError(f"expected AgentProgram, got {program!r}")
+            if program.agent in resolved:
+                raise ProgramError(f"duplicate program for agent {program.agent!r}")
+            resolved[program.agent] = program
+        if not resolved:
+            raise ProgramError("a knowledge-based program needs at least one agent")
+        self._programs = resolved
+
+    @property
+    def agents(self):
+        return tuple(self._programs)
+
+    def program(self, agent):
+        """Return the :class:`AgentProgram` of ``agent``."""
+        try:
+            return self._programs[agent]
+        except KeyError:
+            raise ProgramError(f"no program for agent {agent!r}") from None
+
+    def __getitem__(self, agent):
+        return self.program(agent)
+
+    def __iter__(self):
+        return iter(self._programs.values())
+
+    def guards(self):
+        """Return every guard of every agent."""
+        return tuple(guard for program in self for guard in program.guards())
+
+    def knowledge_subformulas(self):
+        """Return all ``K``/``M`` subformulas of all guards."""
+        result = set()
+        for program in self:
+            result |= program.knowledge_subformulas()
+        return result
+
+    def actions(self, agent):
+        """Return the actions mentioned by ``agent``'s program."""
+        return self.program(agent).actions()
+
+    def check_against_context(self, context):
+        """Validate the program against a context: its agents must exist and
+        every action it mentions must be available to the agent.  Returns the
+        program itself so the call can be chained."""
+        for agent in self.agents:
+            if agent not in context.agents:
+                raise ProgramError(f"program agent {agent!r} is not an agent of the context")
+            available = set(context.agent_actions(agent))
+            for action in self.actions(agent):
+                if action not in available:
+                    raise ProgramError(
+                        f"action {action!r} of agent {agent!r} is not available in the context"
+                    )
+        return self
+
+    def describe(self):
+        """Return a human-readable rendering of the joint program."""
+        return "\n".join(program.describe() for program in self)
+
+    def __repr__(self):
+        return f"KnowledgeBasedProgram(agents={list(self._programs)})"

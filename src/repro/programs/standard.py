@@ -1,0 +1,123 @@
+"""Standard programs: guarded case statements with local tests only.
+
+Standard programs are the objects knowledge-based programs are implemented
+*by*.  Their tests are conditions on the agent's own local state, so they can
+be turned into protocols directly, without reference to an interpreted
+system.
+
+A test can be given as
+
+* a callable ``local_state -> bool``;
+* a boolean :class:`repro.modeling.expressions.Expression` over the agent's
+  observable variables (for variable-based contexts, where a local state is
+  the tuple of observed ``(name, value)`` pairs);
+* the constant ``True``.
+"""
+
+from repro.modeling.expressions import Expression
+from repro.systems.actions import NOOP_NAME
+from repro.systems.protocols import JointProtocol, Protocol
+from repro.util.errors import ProgramError
+
+
+class StandardAgentProgram:
+    """A standard (non-epistemic) program for one agent."""
+
+    def __init__(self, agent, clauses, fallback=NOOP_NAME):
+        if not isinstance(agent, str) or not agent:
+            raise ProgramError(f"agent name must be a non-empty string, got {agent!r}")
+        self.agent = agent
+        self.clauses = tuple((self._normalise_test(test), action) for test, action in clauses)
+        self.fallback = fallback
+
+    @staticmethod
+    def _normalise_test(test):
+        if test is True:
+            return lambda local_state: True
+        if isinstance(test, Expression):
+            def evaluate(local_state, expression=test):
+                values = dict(local_state)
+                return bool(expression.evaluate(values))
+
+            return evaluate
+        if callable(test):
+            return test
+        raise ProgramError(f"test must be callable, a boolean Expression or True, got {test!r}")
+
+    def actions(self):
+        """Return all action labels the program may perform."""
+        labels = [action for _, action in self.clauses]
+        if self.fallback is not None:
+            labels.append(self.fallback)
+        seen = []
+        for label in labels:
+            if label not in seen:
+                seen.append(label)
+        return tuple(seen)
+
+    def enabled_actions(self, local_state):
+        """Return the actions whose tests hold at ``local_state`` (the
+        fallback when none does)."""
+        enabled = [action for test, action in self.clauses if test(local_state)]
+        if not enabled:
+            if self.fallback is None:
+                raise ProgramError(
+                    f"no clause of agent {self.agent!r} is enabled at {local_state!r} "
+                    f"and there is no fallback action"
+                )
+            enabled = [self.fallback]
+        return frozenset(enabled)
+
+    def to_protocol(self):
+        """Return the protocol determined by this program."""
+        return Protocol(self.agent, self.enabled_actions)
+
+    def __repr__(self):
+        return f"StandardAgentProgram({self.agent!r}, {len(self.clauses)} clauses)"
+
+
+class StandardProgram:
+    """A joint standard program: one :class:`StandardAgentProgram` per agent."""
+
+    def __init__(self, programs):
+        if isinstance(programs, dict):
+            programs = list(programs.values())
+        resolved = {}
+        for program in programs:
+            if not isinstance(program, StandardAgentProgram):
+                raise ProgramError(f"expected StandardAgentProgram, got {program!r}")
+            if program.agent in resolved:
+                raise ProgramError(f"duplicate program for agent {program.agent!r}")
+            resolved[program.agent] = program
+        if not resolved:
+            raise ProgramError("a standard program needs at least one agent")
+        self._programs = resolved
+
+    @property
+    def agents(self):
+        return tuple(self._programs)
+
+    def program(self, agent):
+        try:
+            return self._programs[agent]
+        except KeyError:
+            raise ProgramError(f"no program for agent {agent!r}") from None
+
+    def __iter__(self):
+        return iter(self._programs.values())
+
+    def to_joint_protocol(self, context=None):
+        """Return the joint protocol determined by this program.
+
+        When a ``context`` is given, agents of the context without a program
+        are given the constant ``noop`` protocol.
+        """
+        protocols = {agent: program.to_protocol() for agent, program in self._programs.items()}
+        if context is not None:
+            for agent in context.agents:
+                if agent not in protocols:
+                    protocols[agent] = Protocol(agent, lambda local_state: frozenset({NOOP_NAME}))
+        return JointProtocol(protocols)
+
+    def __repr__(self):
+        return f"StandardProgram(agents={list(self._programs)})"

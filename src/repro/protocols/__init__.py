@@ -1,0 +1,41 @@
+"""Canonical knowledge-based protocols from the paper and its companion book.
+
+Each module builds the context and the knowledge-based program of one of the
+paper's worked examples and exposes the formulas needed to check the claimed
+properties:
+
+* :mod:`repro.protocols.bit_transmission` — sender/receiver over lossy
+  channels; the knowledge-based program with guards ``!K_S K_R(bit)`` and
+  ``K_R(bit) & !K_R K_S K_R(bit)`` (unique implementation; provides
+  witnesses, not synchronous);
+* :mod:`repro.protocols.variable_setting` — the family of one-agent
+  micro-programs exhibiting zero, one and several implementations;
+* :mod:`repro.protocols.muddy_children` — the classic puzzle as a
+  synchronous knowledge-based program (with ``k`` muddy children, the muddy
+  ones announce in round ``k``);
+* :mod:`repro.protocols.sequence_transmission` — transmitting a bit string
+  over lossy channels: the knowledge-based specification and the
+  alternating-bit protocol as its standard implementation;
+* :mod:`repro.protocols.unexpected_examination` — the surprise-examination
+  puzzle as a knowledge-based program;
+* :mod:`repro.protocols.dining_cryptographers` — anonymous announcement
+  protocol, used as an additional knowledge-checking workload.
+"""
+
+from repro.protocols import (
+    bit_transmission,
+    dining_cryptographers,
+    muddy_children,
+    sequence_transmission,
+    unexpected_examination,
+    variable_setting,
+)
+
+__all__ = [
+    "bit_transmission",
+    "dining_cryptographers",
+    "muddy_children",
+    "sequence_transmission",
+    "unexpected_examination",
+    "variable_setting",
+]

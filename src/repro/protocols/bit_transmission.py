@@ -1,0 +1,144 @@
+"""The bit-transmission problem (the paper's running example).
+
+A sender ``S`` must transmit a bit over a lossy channel to a receiver ``R``,
+who must acknowledge the reception over a lossy channel.  The knowledge-based
+program is::
+
+    do  !K_S K_R(bit)                      ->  (rbit := sbit, snt := true)  or skip   -- S
+    []  K_R(bit) & !K_R K_S K_R(bit)       ->  ack := true                  or skip   -- R
+    od
+
+where ``K_R(bit)`` abbreviates ``K_R sbit | K_R !sbit`` ("the receiver knows
+the value of the bit").  Losing a message is modelled by the ``*_fail``
+variants of the actions, which are enabled by the same guards but have no
+effect.
+
+The module provides the context, the program, the standard protocol that the
+paper identifies as the (unique) implementation, and the formulas of the
+properties checked in EXPERIMENTS.md:
+
+* ``EF K_R(bit)`` and ``EF K_S K_R(bit)`` hold initially;
+* ``EF K_R K_S K_R(bit)`` does *not* hold (the receiver can never find out
+  that its acknowledgement arrived);
+* the implementation provides epistemic witnesses but is not synchronous.
+"""
+
+from repro.logic.formula import Knows, Not, Or, Prop
+from repro.modeling import Assignment, StateSpace, boolean, var
+from repro.programs import AgentProgram, Clause, KnowledgeBasedProgram
+from repro.systems import variable_context
+
+SENDER = "S"
+RECEIVER = "R"
+
+#: Proposition names used by the model.
+SBIT = "sbit"
+RBIT = "rbit"
+SNT = "snt"
+ACK = "ack"
+
+
+def receiver_knows_bit():
+    """The abbreviation ``K_R(bit)``: the receiver knows the bit's value."""
+    return Or((Knows(RECEIVER, Prop(SBIT)), Knows(RECEIVER, Not(Prop(SBIT)))))
+
+
+def sender_knows_receiver_knows():
+    """``K_S K_R(bit)``."""
+    return Knows(SENDER, receiver_knows_bit())
+
+
+def receiver_knows_sender_knows():
+    """``K_R K_S K_R(bit)``."""
+    return Knows(RECEIVER, sender_knows_receiver_knows())
+
+
+def context():
+    """Build the bit-transmission context.
+
+    Variables: ``sbit`` (the bit to transmit), ``rbit`` (the transmitted
+    value), ``snt`` (whether ``rbit`` is valid), ``ack``.  The sender
+    observes ``sbit`` and ``ack``; the receiver observes ``rbit`` and
+    ``snt``.  Initially ``rbit``, ``snt`` and ``ack`` are false and ``sbit``
+    is arbitrary (two initial states).
+    """
+    sbit = boolean(SBIT)
+    rbit = boolean(RBIT)
+    snt = boolean(SNT)
+    ack = boolean(ACK)
+    space = StateSpace([sbit, rbit, snt, ack])
+    return variable_context(
+        "bit-transmission",
+        space,
+        observables={SENDER: [SBIT, ACK], RECEIVER: [RBIT, SNT]},
+        actions={
+            SENDER: {
+                "send_ok": Assignment({RBIT: var(sbit), SNT: True}),
+                "send_fail": Assignment({}),
+            },
+            RECEIVER: {
+                "ack_ok": Assignment({ACK: True}),
+                "ack_fail": Assignment({}),
+            },
+        },
+        initial=(~var(rbit)) & (~var(snt)) & (~var(ack)),
+    )
+
+
+def program():
+    """The knowledge-based program of the bit-transmission problem."""
+    sender_guard = Not(sender_knows_receiver_knows())
+    receiver_guard = receiver_knows_bit() & Not(receiver_knows_sender_knows())
+    sender_program = AgentProgram(
+        SENDER,
+        [Clause(sender_guard, "send_ok"), Clause(sender_guard, "send_fail")],
+    )
+    receiver_program = AgentProgram(
+        RECEIVER,
+        [Clause(receiver_guard, "ack_ok"), Clause(receiver_guard, "ack_fail")],
+    )
+    return KnowledgeBasedProgram([sender_program, receiver_program])
+
+
+def expected_reachable_labels():
+    """The labellings of the six reachable states of the unique
+    implementation (the paper's ``z0, z1, z3, z4, z5, z7``); the two states
+    with ``ack`` but no successful transmission are unreachable."""
+    return [
+        frozenset(),
+        frozenset({SNT}),
+        frozenset({SNT, ACK}),
+        frozenset({SBIT}),
+        frozenset({SBIT, RBIT, SNT}),
+        frozenset({SBIT, RBIT, SNT, ACK}),
+    ]
+
+
+def property_formulas():
+    """The CTLK properties checked for the implementation (name -> (formula,
+    expected validity))."""
+    from repro.temporal import EF
+
+    return {
+        "eventually_receiver_knows": (EF(receiver_knows_bit()), True),
+        "eventually_sender_knows_receiver_knows": (EF(sender_knows_receiver_knows()), True),
+        "never_receiver_knows_sender_knows": (EF(receiver_knows_sender_knows()), False),
+    }
+
+
+def solve(method="iterate"):
+    """Interpret the program and return the resulting
+    :class:`repro.interpretation.iteration.IterationResult`.
+
+    ``method`` is ``"iterate"`` (default) or ``"rounds"`` (the
+    depth-stratified construction).
+    """
+    from repro.interpretation import construct_by_rounds, iterate_interpretation
+
+    ctx = context()
+    prog = program().check_against_context(ctx)
+    if method == "iterate":
+        return iterate_interpretation(prog, ctx)
+    if method == "rounds":
+        return construct_by_rounds(prog, ctx)
+    raise ValueError(f"unknown method {method!r}")

@@ -1,0 +1,156 @@
+"""The dining cryptographers: anonymous announcement checked epistemically.
+
+``n`` cryptographers (n >= 3) have dined together; either one of them or
+their employer (the NSA) has paid.  They want to learn *whether one of them
+paid* without revealing *who*.  Each adjacent pair shares a secret fair coin;
+every cryptographer announces the exclusive-or of the two coins it sees,
+flipped if it paid itself.  The exclusive-or of all announcements is odd
+exactly when a cryptographer paid.
+
+This is a one-round protocol with standard (non-epistemic) actions; its
+interest for this library is purely epistemic and it serves as an additional
+knowledge-checking workload (experiment E9):
+
+* after the announcements, every non-paying cryptographer knows whether a
+  cryptographer paid;
+* if a cryptographer paid, no *other* cryptographer knows who it was
+  (anonymity), yet "someone paid" is common knowledge.
+"""
+
+from repro.logic.formula import CommonKnows, Knows, Not, Prop, disj
+from repro.modeling import Assignment, StateSpace, boolean, var
+from repro.programs import StandardAgentProgram, StandardProgram
+from repro.systems import represent, variable_context
+
+
+def crypto(i):
+    """The agent name of cryptographer ``i`` (0-based)."""
+    return f"crypto{i}"
+
+
+def paid_prop(i):
+    """The proposition "cryptographer ``i`` paid"."""
+    return Prop(f"paid{i}")
+
+
+def someone_paid_formula(n):
+    """The proposition "one of the cryptographers paid"."""
+    return disj([paid_prop(i) for i in range(n)])
+
+
+def context(n=3):
+    """Build the dining-cryptographers context for ``n`` cryptographers.
+
+    Variables: ``paid_i`` (static, at most one true; all false means the NSA
+    paid), one shared coin per adjacent pair (``coin_i`` is shared between
+    cryptographers ``i`` and ``(i+1) % n``), one announcement bit ``say_i``
+    per cryptographer and a ``done`` flag.  Cryptographer ``i`` observes its
+    two coins, whether it paid itself, all announcements and ``done``.
+    """
+    if n < 3:
+        raise ValueError("the protocol needs at least three cryptographers")
+    paid_vars = [boolean(f"paid{i}") for i in range(n)]
+    coin_vars = [boolean(f"coin{i}") for i in range(n)]
+    say_vars = [boolean(f"say{i}") for i in range(n)]
+    done = boolean("done")
+    space = StateSpace(paid_vars + coin_vars + say_vars + [done])
+
+    observables = {}
+    for i in range(n):
+        observed = [f"paid{i}", f"coin{i}", f"coin{(i - 1) % n}", "done"]
+        observed += [f"say{j}" for j in range(n)]
+        observables[crypto(i)] = observed
+
+    def announce_effect(i):
+        left = var(space.variable(f"coin{(i - 1) % n}"))
+        right = var(space.variable(f"coin{i}"))
+        paid_self = var(space.variable(f"paid{i}"))
+        # say_i := coin_left XOR coin_right XOR paid_i
+        return Assignment({f"say{i}": (left != right) != paid_self})
+
+    actions = {crypto(i): {"announce": announce_effect(i)} for i in range(n)}
+
+    # At most one cryptographer paid.
+    at_most_one = None
+    for i in range(n):
+        for j in range(i + 1, n):
+            pair = ~(var(paid_vars[i]) & var(paid_vars[j]))
+            at_most_one = pair if at_most_one is None else (at_most_one & pair)
+
+    initial = ~var(done)
+    for say in say_vars:
+        initial = initial & (~var(say))
+
+    return variable_context(
+        f"dining-cryptographers-{n}",
+        space,
+        observables=observables,
+        actions=actions,
+        initial=initial,
+        env_effects={"finish": Assignment({"done": True})},
+        global_constraint=at_most_one,
+    )
+
+
+def protocol_program(n=3):
+    """The standard one-round program: every cryptographer announces while
+    the protocol is not ``done``."""
+
+    def not_done(local_state):
+        return not dict(local_state)["done"]
+
+    programs = [
+        StandardAgentProgram(crypto(i), [(not_done, "announce")]) for i in range(n)
+    ]
+    return StandardProgram(programs)
+
+
+def system(n=3, max_states=200000):
+    """Generate the interpreted system of the protocol (one announcement
+    round followed by idling)."""
+    ctx = context(n)
+    protocol = protocol_program(n).to_joint_protocol(ctx)
+    return represent(ctx, protocol, max_states=max_states)
+
+
+def anonymity_holds(sys, n=3):
+    """Check anonymity: in every reachable post-announcement state in which
+    cryptographer ``i`` paid, no other cryptographer ``j`` knows that ``i``
+    paid."""
+    done = sys.extension(Prop("done"))
+    for i in range(n):
+        paid_i_states = sys.extension(paid_prop(i)) & done
+        for j in range(n):
+            if i == j:
+                continue
+            knows_who = sys.extension(Knows(crypto(j), paid_prop(i)))
+            if paid_i_states & knows_who:
+                return False
+    return True
+
+
+def everyone_learns_whether_paid(sys, n=3):
+    """Check that after the announcements every non-paying cryptographer
+    knows whether one of the cryptographers paid."""
+    done = sys.extension(Prop("done"))
+    someone = someone_paid_formula(n)
+    for j in range(n):
+        knows_someone = sys.extension(Knows(crypto(j), someone))
+        knows_nobody = sys.extension(Knows(crypto(j), Not(someone)))
+        for state in done:
+            if state[f"paid{j}"]:
+                continue
+            if state not in knows_someone and state not in knows_nobody:
+                return False
+    return True
+
+
+def someone_paid_is_common_knowledge(sys, n=3):
+    """When a cryptographer paid, "someone paid" is common knowledge among
+    all of them after the announcements."""
+    group = tuple(crypto(i) for i in range(n))
+    someone = someone_paid_formula(n)
+    common = sys.extension(CommonKnows(group, someone))
+    done = sys.extension(Prop("done"))
+    paid_states = sys.extension(someone)
+    return all(state in common for state in done & paid_states)

@@ -1,0 +1,236 @@
+"""The muddy-children puzzle as a synchronous knowledge-based program.
+
+``n`` children play together; ``k >= 1`` of them get mud on their foreheads.
+Each child sees the others' foreheads but not its own.  Their father
+announces "at least one of you is muddy" (modelled by restricting the initial
+states) and then repeatedly asks "do you know whether you are muddy?".  All
+children answer simultaneously and truthfully, and all answers are heard by
+everyone.
+
+The knowledge-based program of child ``i`` is::
+
+    do  K_i muddy_i  or  K_i !muddy_i   ->  said_i := true      -- "yes"
+    []  otherwise                       ->  said_i := false     -- "no"
+    od
+
+with a round counter advanced by the environment in every step.  The context
+is synchronous (every child can read the round off its local state), so the
+program has a unique implementation and the depth-stratified construction
+computes it.  The classical result reproduced in EXPERIMENTS.md:
+
+* with ``k`` muddy children, every muddy child first *knows* its status at
+  round ``k - 1`` and first *answers yes* in round ``k``;
+* the clean children answer yes exactly one round later;
+* no child answers yes earlier.
+"""
+
+from itertools import product as _product
+
+from repro.logic.formula import Knows, Not, Or, Prop, conj
+from repro.modeling import Assignment, StateSpace, boolean, ite, ranged, var
+from repro.programs import AgentProgram, Clause, KnowledgeBasedProgram
+from repro.systems import variable_context
+
+
+def child(i):
+    """The agent name of child ``i`` (0-based)."""
+    return f"child{i}"
+
+
+def muddy_prop(i):
+    """The proposition "child ``i`` is muddy"."""
+    return Prop(f"muddy{i}")
+
+
+def said_prop(i):
+    """The proposition "child ``i`` answered *yes* in the previous round"."""
+    return Prop(f"said{i}")
+
+
+def knows_own_status(i):
+    """``K_i muddy_i | K_i !muddy_i`` — child ``i`` knows whether it is
+    muddy."""
+    agent = child(i)
+    return Or((Knows(agent, muddy_prop(i)), Knows(agent, Not(muddy_prop(i)))))
+
+
+def context(n, max_round=None):
+    """Build the muddy-children context for ``n`` children.
+
+    Variables: ``muddy_i`` (static), ``said_i`` (the child's answer in the
+    previous round), a saturating ``round`` counter and ``heard`` — the first
+    round in which some child answered *yes* (0 while nobody has).  The
+    ``heard`` variable is the finite summary of the announcement history that
+    gives the children perfect recall of what matters: "nobody answered yes
+    before round ``r``".  Child ``i`` observes every ``muddy_j`` with
+    ``j != i``, every ``said_j``, the round and ``heard``.  The initial
+    states are all muddiness patterns with at least one muddy child (the
+    father's announcement), ``said_i = false``, ``round = 0`` and
+    ``heard = 0``.
+    """
+    if n < 1:
+        raise ValueError("need at least one child")
+    if max_round is None:
+        max_round = n + 1
+    muddy_vars = [boolean(f"muddy{i}") for i in range(n)]
+    said_vars = [boolean(f"said{i}") for i in range(n)]
+    round_var = ranged("round", 0, max_round)
+    heard_var = ranged("heard", 0, max_round)
+    space = StateSpace(muddy_vars + said_vars + [round_var, heard_var])
+
+    observables = {}
+    for i in range(n):
+        observed = [f"muddy{j}" for j in range(n) if j != i]
+        observed += [f"said{j}" for j in range(n)]
+        observed += ["round", "heard"]
+        observables[child(i)] = observed
+
+    actions = {
+        child(i): {
+            "say_yes": Assignment({f"said{i}": True}),
+            "say_no": Assignment({f"said{i}": False}),
+        }
+        for i in range(n)
+    }
+
+    at_least_one_muddy = None
+    anyone_said = None
+    for muddy_variable, said_variable in zip(muddy_vars, said_vars):
+        muddy_term = var(muddy_variable)
+        said_term = var(said_variable)
+        at_least_one_muddy = (
+            muddy_term if at_least_one_muddy is None else (at_least_one_muddy | muddy_term)
+        )
+        anyone_said = said_term if anyone_said is None else (anyone_said | said_term)
+    initial = at_least_one_muddy & (var(round_var) == 0) & (var(heard_var) == 0)
+    for variable in said_vars:
+        initial = initial & (~var(variable))
+
+    tick = Assignment(
+        {
+            "round": ite(
+                var(round_var) < max_round, var(round_var) + 1, var(round_var)
+            ),
+            # Record the first round whose answers contained a "yes": the
+            # `said` values in the pre-state are the answers given in round
+            # `round`, so that is the value to latch.
+            "heard": ite(
+                var(heard_var) != 0,
+                var(heard_var),
+                ite(anyone_said, var(round_var), 0),
+            ),
+        }
+    )
+
+    return variable_context(
+        f"muddy-children-{n}",
+        space,
+        observables=observables,
+        actions=actions,
+        initial=initial,
+        env_effects={"tick": tick},
+    )
+
+
+def program(n):
+    """The joint knowledge-based program of ``n`` children."""
+    programs = []
+    for i in range(n):
+        programs.append(
+            AgentProgram(
+                child(i),
+                [Clause(knows_own_status(i), "say_yes")],
+                fallback="say_no",
+            )
+        )
+    return KnowledgeBasedProgram(programs)
+
+
+def initial_state_for_pattern(context_, muddy_pattern):
+    """Return the initial state in which exactly the children flagged in
+    ``muddy_pattern`` (a sequence of booleans) are muddy."""
+    space = context_.spec.state_space
+    values = {"round": 0, "heard": 0}
+    for i, is_muddy in enumerate(muddy_pattern):
+        values[f"muddy{i}"] = bool(is_muddy)
+        values[f"said{i}"] = False
+    return space.state(values)
+
+
+def run_from_pattern(system, muddy_pattern):
+    """Follow the (deterministic) run of the implementation from the initial
+    state with the given muddiness pattern and return the list of states, one
+    per round."""
+    state = initial_state_for_pattern(system.context, muddy_pattern)
+    transition_system = system.transition_system
+    states = [state]
+    seen = {state}
+    while True:
+        successors = [target for _, target in transition_system.successors(states[-1])]
+        if not successors:
+            break
+        next_state = successors[0]
+        if len(set(successors)) != 1:
+            raise AssertionError("the muddy-children implementation should be deterministic")
+        if next_state in seen:
+            states.append(next_state)
+            break
+        seen.add(next_state)
+        states.append(next_state)
+    return states
+
+
+def announcement_rounds(system, muddy_pattern):
+    """Return, for each child, the first round in which it answers *yes*
+    (i.e. the first round counter value at which ``said_i`` is true) in the
+    run with the given muddiness pattern; ``None`` if it never does within
+    the explored horizon."""
+    rounds = {}
+    for state in run_from_pattern(system, muddy_pattern):
+        for i in range(len(muddy_pattern)):
+            if i in rounds:
+                continue
+            if state[f"said{i}"]:
+                rounds[i] = state["round"]
+    return {i: rounds.get(i) for i in range(len(muddy_pattern))}
+
+
+def knowledge_rounds(system, muddy_pattern):
+    """Return, for each child, the first round at which it *knows* its own
+    status in the run with the given muddiness pattern."""
+    rounds = {}
+    for state in run_from_pattern(system, muddy_pattern):
+        for i in range(len(muddy_pattern)):
+            if i in rounds:
+                continue
+            if system.holds(state, knows_own_status(i)):
+                rounds[i] = state["round"]
+    return {i: rounds.get(i) for i in range(len(muddy_pattern))}
+
+
+def all_patterns(n, muddy_count=None):
+    """Yield muddiness patterns for ``n`` children with at least one muddy
+    child, optionally restricted to exactly ``muddy_count`` muddy ones."""
+    for bits in _product((False, True), repeat=n):
+        count = sum(bits)
+        if count == 0:
+            continue
+        if muddy_count is not None and count != muddy_count:
+            continue
+        yield bits
+
+
+def solve(n, method="rounds", max_round=None):
+    """Interpret the ``n``-children program and return the
+    :class:`repro.interpretation.iteration.IterationResult` (the context is
+    synchronous, so the round-by-round construction is sound and is the
+    default)."""
+    from repro.interpretation import construct_by_rounds, iterate_interpretation
+
+    ctx = context(n, max_round=max_round)
+    prog = program(n).check_against_context(ctx)
+    if method == "rounds":
+        return construct_by_rounds(prog, ctx)
+    if method == "iterate":
+        return iterate_interpretation(prog, ctx)
+    raise ValueError(f"unknown method {method!r}")

@@ -1,0 +1,321 @@
+"""The sequence-transmission problem and the alternating-bit protocol.
+
+A sender ``S`` must transmit a finite bit string to a receiver ``R`` over
+channels that may lose messages in either direction.  This module contains
+two models, both built directly on the generic :class:`repro.systems.context.Context`
+API (rather than the variable DSL), mirroring the development in the paper's
+companion book (ch. 7):
+
+1. **The knowledge-based specification** (:func:`kb_context`,
+   :func:`kb_program`): the sender keeps transmitting bit ``i`` as long as it
+   does not *know* that the receiver has it, and moves on as soon as it does;
+   the receiver keeps acknowledging its progress as long as it does not know
+   that the sender knows.  The global state abstracts the channels into
+   direct-delivery-or-loss per round and tracks only the sequence, how many
+   bits the receiver has (``nrcvd``) and the highest acknowledgement the
+   sender has received (``sacked``).  The program's implementation (computed
+   by the fixed-point machinery) sends bit ``i`` exactly while ``sacked = i``
+   — i.e. the sequential-numbering behaviour that the alternating-bit
+   protocol realises with a single parity bit.
+
+2. **The alternating-bit protocol itself** (:func:`abp_context`,
+   :func:`abp_protocol`): an explicit standard protocol with one-bit parities
+   on messages and acknowledgements, over the same lossy-delivery
+   environment.  Its safety property — the received string is always a
+   prefix of the sent string — and the knowledge property that receiving a
+   matching acknowledgement *implies the sender knows* the receiver has the
+   bit are checked in the tests and benchmarks.
+"""
+
+from collections import namedtuple
+from itertools import product as _product
+
+from repro.logic.formula import Knows, Not, Prop, conj
+from repro.programs import AgentProgram, Clause, KnowledgeBasedProgram
+from repro.systems import Context, JointProtocol, Protocol
+from repro.systems.actions import NOOP_NAME
+
+SENDER = "S"
+RECEIVER = "R"
+
+#: Environment actions: whether the data message and the acknowledgement sent
+#: in this round are delivered or lost.
+ENV_ACTIONS = tuple(
+    (data, ack) for data in ("data_ok", "data_lost") for ack in ("ack_ok", "ack_lost")
+)
+
+
+# ---------------------------------------------------------------------------
+# Knowledge-based specification
+# ---------------------------------------------------------------------------
+
+KBState = namedtuple("KBState", ["seq", "nrcvd", "sacked"])
+"""Global state of the knowledge-based model: the (static) bit string, the
+number of bits the receiver holds and the highest count acknowledged to the
+sender.  Invariant: ``sacked <= nrcvd <= len(seq)``."""
+
+
+def r_has(i):
+    """Proposition: the receiver has received bit ``i`` (0-based)."""
+    return Prop(f"r_has_{i}")
+
+
+def send_action(i):
+    return f"send_{i}"
+
+
+def ack_action(j):
+    return f"ack_{j}"
+
+
+def _kb_labelling(state):
+    labels = set()
+    for i in range(state.nrcvd):
+        labels.add(f"r_has_{i}")
+    for i, bit in enumerate(state.seq):
+        if bit:
+            labels.add(f"seq_{i}")
+    labels.add(f"nrcvd={state.nrcvd}")
+    labels.add(f"sacked={state.sacked}")
+    if state.nrcvd == len(state.seq):
+        labels.add("all_received")
+    if state.sacked == len(state.seq):
+        labels.add("all_acknowledged")
+    return labels
+
+
+def _kb_local_state(agent, state):
+    if agent == SENDER:
+        # The sender knows the sequence and what has been acknowledged.
+        return ("S", state.seq, state.sacked)
+    if agent == RECEIVER:
+        # The receiver knows exactly the prefix it has received.
+        return ("R", state.seq[: state.nrcvd])
+    raise ValueError(f"unknown agent {agent!r}")
+
+
+def _kb_transition(state, joint_action):
+    data_status, ack_status = joint_action.env
+    sender_act = joint_action.action_of(SENDER)
+    receiver_act = joint_action.action_of(RECEIVER)
+    nrcvd = state.nrcvd
+    sacked = state.sacked
+    length = len(state.seq)
+    if (
+        data_status == "data_ok"
+        and sender_act.startswith("send_")
+        and int(sender_act.split("_")[1]) == state.nrcvd
+        and state.nrcvd < length
+    ):
+        nrcvd = state.nrcvd + 1
+    if (
+        ack_status == "ack_ok"
+        and receiver_act.startswith("ack_")
+        and int(receiver_act.split("_")[1]) > state.sacked
+        and int(receiver_act.split("_")[1]) <= state.nrcvd
+    ):
+        sacked = int(receiver_act.split("_")[1])
+    return KBState(state.seq, nrcvd, sacked)
+
+
+def kb_context(length):
+    """The knowledge-based sequence-transmission context for bit strings of
+    the given ``length`` (all ``2^length`` strings are initial states)."""
+    if length < 1:
+        raise ValueError("the sequence must have at least one bit")
+    initial_states = [
+        KBState(tuple(bits), 0, 0) for bits in _product((False, True), repeat=length)
+    ]
+    sender_actions = tuple(send_action(i) for i in range(length)) + (NOOP_NAME,)
+    receiver_actions = tuple(ack_action(j) for j in range(1, length + 1)) + (NOOP_NAME,)
+    return Context(
+        name=f"sequence-transmission-kb-{length}",
+        agents=(SENDER, RECEIVER),
+        initial_states=initial_states,
+        transition=_kb_transition,
+        local_state=_kb_local_state,
+        labelling=_kb_labelling,
+        agent_actions={SENDER: sender_actions, RECEIVER: receiver_actions},
+        env_actions=lambda state: ENV_ACTIONS,
+    )
+
+
+def kb_program(length):
+    """The knowledge-based program: the sender transmits bit ``i`` while it
+    does not know the receiver has it (and knows it has all earlier bits);
+    the receiver acknowledges ``j`` received bits while it does not know that
+    the sender knows about the last of them."""
+    sender_clauses = []
+    for i in range(length):
+        guard = Not(Knows(SENDER, r_has(i)))
+        if i > 0:
+            guard = Knows(SENDER, r_has(i - 1)) & guard
+        sender_clauses.append(Clause(guard, send_action(i)))
+    receiver_clauses = []
+    for j in range(1, length + 1):
+        guard = Prop(f"nrcvd={j}") & Not(Knows(RECEIVER, Knows(SENDER, r_has(j - 1))))
+        receiver_clauses.append(Clause(guard, ack_action(j)))
+    return KnowledgeBasedProgram(
+        [
+            AgentProgram(SENDER, sender_clauses),
+            AgentProgram(RECEIVER, receiver_clauses),
+        ]
+    )
+
+
+def all_received_formula(length):
+    """``r_has_0 & ... & r_has_{length-1}``."""
+    return conj([r_has(i) for i in range(length)])
+
+
+def solve_kb(length, method="iterate"):
+    """Interpret the knowledge-based specification and return the
+    :class:`repro.interpretation.iteration.IterationResult`."""
+    from repro.interpretation import construct_by_rounds, iterate_interpretation
+
+    context = kb_context(length)
+    program = kb_program(length).check_against_context(context)
+    if method == "iterate":
+        return iterate_interpretation(program, context)
+    if method == "rounds":
+        return construct_by_rounds(program, context)
+    raise ValueError(f"unknown method {method!r}")
+
+
+# ---------------------------------------------------------------------------
+# The alternating-bit protocol (standard implementation with parity bits)
+# ---------------------------------------------------------------------------
+
+ABPState = namedtuple(
+    "ABPState", ["seq", "sptr", "rcvd", "data_chan", "ack_chan"]
+)
+"""Global state of the alternating-bit model.
+
+``sptr`` is the index of the bit the sender is currently transmitting,
+``rcvd`` the tuple of bits the receiver has accepted, ``data_chan`` either
+``None`` or a ``(bit, parity)`` message in transit, ``ack_chan`` either
+``None`` or a parity in transit.
+"""
+
+
+def _abp_labelling(state):
+    labels = set()
+    for i, bit in enumerate(state.seq):
+        if bit:
+            labels.add(f"seq_{i}")
+    for i, bit in enumerate(state.rcvd):
+        labels.add(f"r_has_{i}")
+        if bit:
+            labels.add(f"rbit_{i}")
+    labels.add(f"sptr={state.sptr}")
+    labels.add(f"nrcvd={len(state.rcvd)}")
+    if state.rcvd == state.seq[: len(state.rcvd)]:
+        labels.add("prefix_ok")
+    if len(state.rcvd) == len(state.seq):
+        labels.add("all_received")
+    return labels
+
+
+def _abp_local_state(agent, state):
+    if agent == SENDER:
+        return ("S", state.seq, state.sptr, state.ack_chan)
+    if agent == RECEIVER:
+        return ("R", state.rcvd, state.data_chan)
+    raise ValueError(f"unknown agent {agent!r}")
+
+
+def _abp_transition(state, joint_action):
+    data_status, ack_status = joint_action.env
+    sender_act = joint_action.action_of(SENDER)
+    receiver_act = joint_action.action_of(RECEIVER)
+    seq = state.seq
+    length = len(seq)
+
+    sptr = state.sptr
+    rcvd = state.rcvd
+    # 1. The sender processes a pending acknowledgement and emits a message.
+    if state.ack_chan is not None and state.ack_chan == sptr % 2 and sptr < length:
+        sptr = sptr + 1
+    data_out = None
+    if sender_act == "transmit" and sptr < length:
+        data_out = (seq[sptr], sptr % 2)
+    # 2. The receiver processes a pending data message and emits an ack.
+    ack_out = None
+    if state.data_chan is not None:
+        bit, parity = state.data_chan
+        if parity == len(rcvd) % 2 and len(rcvd) < length:
+            rcvd = rcvd + (bit,)
+        # The acknowledgement always carries the parity of the last accepted
+        # bit (or nothing if no bit has been accepted yet).
+        if receiver_act == "acknowledge" and rcvd:
+            ack_out = (len(rcvd) - 1) % 2
+    elif receiver_act == "acknowledge" and rcvd:
+        ack_out = (len(rcvd) - 1) % 2
+    # 3. The environment decides which of the emitted messages are delivered.
+    data_chan = data_out if data_status == "data_ok" else None
+    ack_chan = ack_out if ack_status == "ack_ok" else None
+    return ABPState(seq, sptr, rcvd, data_chan, ack_chan)
+
+
+def abp_context(length):
+    """The alternating-bit context for bit strings of the given length."""
+    if length < 1:
+        raise ValueError("the sequence must have at least one bit")
+    initial_states = [
+        ABPState(tuple(bits), 0, (), None, None)
+        for bits in _product((False, True), repeat=length)
+    ]
+    return Context(
+        name=f"alternating-bit-{length}",
+        agents=(SENDER, RECEIVER),
+        initial_states=initial_states,
+        transition=_abp_transition,
+        local_state=_abp_local_state,
+        labelling=_abp_labelling,
+        agent_actions={
+            SENDER: ("transmit", NOOP_NAME),
+            RECEIVER: ("acknowledge", NOOP_NAME),
+        },
+        env_actions=lambda state: ENV_ACTIONS,
+    )
+
+
+def abp_protocol():
+    """The alternating-bit protocol as a standard joint protocol: the sender
+    always transmits (until done), the receiver always acknowledges."""
+
+    def sender_actions(local_state):
+        _, seq, sptr, _ = local_state
+        if sptr < len(seq):
+            return frozenset({"transmit"})
+        return frozenset({NOOP_NAME})
+
+    def receiver_actions(local_state):
+        _, rcvd, _ = local_state
+        if rcvd:
+            return frozenset({"acknowledge"})
+        return frozenset({NOOP_NAME})
+
+    return JointProtocol(
+        {
+            SENDER: Protocol(SENDER, sender_actions),
+            RECEIVER: Protocol(RECEIVER, receiver_actions),
+        }
+    )
+
+
+def abp_system(length, max_states=200000):
+    """Generate the interpreted system of the alternating-bit protocol."""
+    from repro.systems import represent
+
+    return represent(abp_context(length), abp_protocol(), max_states=max_states)
+
+
+def prefix_ok_formula():
+    """Safety: the received string is a prefix of the sent string."""
+    return Prop("prefix_ok")
+
+
+def sender_knows_received(i):
+    """``K_S r_has_i`` — the sender knows the receiver holds bit ``i``."""
+    return Knows(SENDER, r_has(i))

@@ -1,0 +1,127 @@
+"""The unexpected (surprise) examination as a knowledge-based program.
+
+A class ``P`` is told that there will be an exam on one of the days
+``0..4`` next week and that it will be a surprise: on the morning of the exam
+the class will not know that the exam is that day.  The teacher ``T`` (who
+knows the exam day) holds the exam only if it is still a surprise::
+
+    do  day < 5  &  !written  &  K_T (day = exam  &  !K_P day = exam)
+            ->  written := true
+    od
+
+with the day advanced by the environment every round.  The class observes
+the day and whether the exam has been written, the teacher observes
+everything.  The context is synchronous (the day is the round), so the
+program has a unique implementation.
+
+The classical resolution reproduced in EXPERIMENTS.md: the exam *can* be held
+as a surprise on any of the days ``0..3`` (in particular mid-week), but not
+on the last day — if the exam is scheduled for day 4 it is never written,
+because on the morning of day 4 the class would know.
+"""
+
+from repro.logic.formula import Knows, Not, Prop, disj
+from repro.modeling import Assignment, StateSpace, boolean, ite, ranged, var
+from repro.programs import AgentProgram, Clause, KnowledgeBasedProgram
+from repro.systems import variable_context
+
+TEACHER = "T"
+CLASS = "P"
+
+NUM_DAYS = 5
+
+
+def exam_today_formula(num_days=NUM_DAYS):
+    """The proposition "today is the exam day" (``day = exam``), expressed
+    over the ``day=d`` / ``exam=d`` atoms."""
+    return disj(
+        [Prop(f"day={d}") & Prop(f"exam={d}") for d in range(num_days)]
+    )
+
+
+def class_knows_exam_today(num_days=NUM_DAYS):
+    """``K_P (day = exam)``."""
+    return Knows(CLASS, exam_today_formula(num_days))
+
+
+def surprise_possible_guard(num_days=NUM_DAYS):
+    """The teacher's guard: the exam day has come, the exam has not been
+    written, and the class does not know that today is the day."""
+    day_not_over = disj([Prop(f"day={d}") for d in range(num_days)])
+    return (
+        day_not_over
+        & Not(Prop("written"))
+        & Knows(TEACHER, exam_today_formula(num_days) & Not(class_knows_exam_today(num_days)))
+    )
+
+
+def context(num_days=NUM_DAYS):
+    """Build the surprise-examination context.
+
+    Variables: ``day`` (0..num_days, saturating), ``exam`` (0..num_days-1,
+    static) and ``written``.  The class observes ``day`` and ``written``; the
+    teacher observes everything.
+    """
+    day = ranged("day", 0, num_days)
+    exam = ranged("exam", 0, num_days - 1)
+    written = boolean("written")
+    space = StateSpace([day, exam, written])
+    tick = Assignment({"day": ite(var(day) < num_days, var(day) + 1, var(day))})
+    return variable_context(
+        f"unexpected-examination-{num_days}",
+        space,
+        observables={TEACHER: ["day", "exam", "written"], CLASS: ["day", "written"]},
+        actions={
+            TEACHER: {"hold_exam": Assignment({"written": True})},
+            CLASS: {},
+        },
+        initial=(var(day) == 0) & (~var(written)),
+        env_effects={"tick": tick},
+    )
+
+
+def program(num_days=NUM_DAYS):
+    """The teacher's knowledge-based program (the class only observes)."""
+    teacher = AgentProgram(TEACHER, [Clause(surprise_possible_guard(num_days), "hold_exam")])
+    observer = AgentProgram(CLASS, [])
+    return KnowledgeBasedProgram([teacher, observer])
+
+
+def solve(num_days=NUM_DAYS, method="rounds"):
+    """Interpret the program and return the resulting iteration result."""
+    from repro.interpretation import construct_by_rounds, iterate_interpretation
+
+    ctx = context(num_days)
+    prog = program(num_days).check_against_context(ctx)
+    if method == "rounds":
+        return construct_by_rounds(prog, ctx)
+    if method == "iterate":
+        return iterate_interpretation(prog, ctx)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def exam_written_on_day(system, exam_day):
+    """Return ``True`` if, in the implementation, the exam scheduled for
+    ``exam_day`` is eventually written (as a surprise)."""
+    from repro.temporal import EF, CTLKModelChecker
+
+    checker = CTLKModelChecker(system)
+    target = Prop("written") & Prop(f"exam={exam_day}")
+    # Reachability of `written` restricted to the runs whose exam day is
+    # ``exam_day``: since ``exam`` is static, it suffices to ask whether a
+    # state with that exam day and ``written`` is reachable at all.
+    return checker.reachable(target)
+
+
+def surprise_holds_when_written(system):
+    """Check that whenever the exam is written, the class did not know on
+    that morning: every reachable state reached by a ``hold_exam`` step
+    satisfies "the class did not know the exam was today" in its
+    predecessor."""
+    transition_system = system.transition_system
+    knows_today = system.extension(class_knows_exam_today())
+    for source, joint_action, target in transition_system.transitions:
+        if joint_action.action_of(TEACHER) == "hold_exam" and not source["written"]:
+            if target["written"] and source in knows_today:
+                return False
+    return True

@@ -1,0 +1,168 @@
+"""The variable-setting family: knowledge-based programs with zero, one or
+several implementations.
+
+A single "blind" agent ``a`` (it observes nothing) manipulates a variable
+``x`` ranging over ``0..3``, starting from ``x = 0``.  Because the agent's
+knowledge is exactly "which values of ``x`` are reachable", these tiny
+programs isolate the non-monotone interaction between guard evaluation and
+reachability that makes knowledge-based programs subtle:
+
+* :func:`cyclic_program` — ``if K_a x!=2 -> x:=1 [] K_a x!=1 -> x:=2`` has
+  *two* implementations (reachable sets ``{0,1}`` and ``{0,2}``), and plain
+  iteration of the interpretation functional oscillates with period 2;
+* :func:`cycle_breaking_program` — adding an unconditional branch
+  ``true -> x:=3`` (and retargeting) yields a *unique* implementation that
+  iteration reaches after a few steps;
+* :func:`contradictory_program` — ``if K_a x!=1 -> x:=1`` has *no*
+  implementation (setting the value is justified exactly when it is not
+  performed);
+* :func:`self_fulfilling_program` — ``if M_a x=1 -> x:=1`` has two
+  implementations (``{0}`` and ``{0,1}``): reaching ``x=1`` is justified
+  only by itself;
+* :func:`speculative_program` — the combination whose *unique*
+  implementation cannot be found by iteration from either seed and requires
+  the exhaustive search.
+"""
+
+from repro.logic.formula import Knows, Possible
+from repro.modeling import StateSpace, ranged, var
+from repro.programs import AgentProgram, Clause, KnowledgeBasedProgram
+from repro.systems import variable_context
+
+AGENT = "a"
+
+
+def _state_space():
+    return StateSpace([ranged("x", 0, 3)])
+
+
+def context():
+    """The shared context: blind agent ``a``, ``x in 0..3``, initially 0,
+    actions ``set1``, ``set2``, ``set3`` writing the corresponding value."""
+    space = _state_space()
+    x = space.variable("x")
+    return variable_context(
+        "variable-setting",
+        space,
+        observables={AGENT: []},
+        actions={
+            AGENT: {
+                "set1": {"x": 1},
+                "set2": {"x": 2},
+                "set3": {"x": 3},
+            }
+        },
+        initial=(var(x) == 0),
+    )
+
+
+def _knows_not_value(value):
+    """``K_a (x != value)`` as a propositional-epistemic formula."""
+    space = _state_space()
+    x = space.variable("x")
+    return Knows(AGENT, (var(x) != value).to_formula())
+
+
+def _possible_value(value):
+    """``M_a (x = value)``."""
+    space = _state_space()
+    x = space.variable("x")
+    return Possible(AGENT, (var(x) == value).to_formula())
+
+
+def cyclic_program():
+    """Two implementations; iteration oscillates (the paper's Exercise 7.5
+    style example)."""
+    return KnowledgeBasedProgram(
+        [
+            AgentProgram(
+                AGENT,
+                [
+                    Clause(_knows_not_value(2), "set1"),
+                    Clause(_knows_not_value(1), "set2"),
+                ],
+            )
+        ]
+    )
+
+
+def cycle_breaking_program():
+    """Unique implementation, reached constructively: the unconditional
+    branch forces ``x=1`` to be reachable, which settles both knowledge
+    guards."""
+    space = _state_space()
+    x = space.variable("x")
+    true_guard = (var(x) == var(x)).to_formula()
+    return KnowledgeBasedProgram(
+        [
+            AgentProgram(
+                AGENT,
+                [
+                    Clause(_knows_not_value(1), "set3"),
+                    Clause(_knows_not_value(3), "set2"),
+                    Clause(true_guard, "set1"),
+                ],
+            )
+        ]
+    )
+
+
+def contradictory_program():
+    """No implementation: ``x:=1`` is performed exactly when ``x=1`` is not
+    reachable."""
+    return KnowledgeBasedProgram(
+        [AgentProgram(AGENT, [Clause(_knows_not_value(1), "set1")])]
+    )
+
+
+def self_fulfilling_program():
+    """Two implementations: ``x:=1`` is performed exactly when ``x=1`` is
+    reachable, so both "never" and "always" are consistent."""
+    return KnowledgeBasedProgram(
+        [AgentProgram(AGENT, [Clause(_possible_value(1), "set1")])]
+    )
+
+
+def speculative_program():
+    """Unique implementation (reachable set ``{0, 1}``) that iteration
+    misses: finding it requires ruling out the alternative ``{0, 2}`` because
+    that one would trigger the contradictory third branch."""
+    space = _state_space()
+    x = space.variable("x")
+    third_guard = Knows(AGENT, ((var(x) != 1) & (var(x) != 3)).to_formula())
+    return KnowledgeBasedProgram(
+        [
+            AgentProgram(
+                AGENT,
+                [
+                    Clause(_knows_not_value(2), "set1"),
+                    Clause(_knows_not_value(1), "set2"),
+                    Clause(third_guard, "set3"),
+                ],
+            )
+        ]
+    )
+
+
+PROGRAM_FAMILY = {
+    "cyclic": (cyclic_program, "multiple"),
+    "cycle_breaking": (cycle_breaking_program, "unique"),
+    "contradictory": (contradictory_program, "contradictory"),
+    "self_fulfilling": (self_fulfilling_program, "multiple"),
+    "speculative": (speculative_program, "unique"),
+}
+"""Mapping ``name -> (program factory, expected classification)``."""
+
+
+def expected_reachable_values(name):
+    """Return the expected reachable ``x``-value sets of each implementation
+    of the named family member (a list of frozensets), for use in tests and
+    EXPERIMENTS.md."""
+    table = {
+        "cyclic": [frozenset({0, 1}), frozenset({0, 2})],
+        "cycle_breaking": [frozenset({0, 1, 2})],
+        "contradictory": [],
+        "self_fulfilling": [frozenset({0}), frozenset({0, 1})],
+        "speculative": [frozenset({0, 1})],
+    }
+    return table[name]

@@ -1,0 +1,61 @@
+"""Interpreted systems: contexts, protocols, runs and knowledge.
+
+This package implements the semantic universe of knowledge-based programs:
+
+* :class:`repro.systems.actions.JointAction` — one environment action plus
+  one action per agent, performed simultaneously in a round;
+* :class:`repro.systems.context.Context` — the paper's context
+  ``gamma = (P_e, G_0, tau, Psi)``: the environment's protocol, the initial
+  global states, the transition function and an admissibility condition,
+  together with the agents' local-state projections and the propositional
+  labelling of global states;
+* :func:`repro.systems.variable_context.variable_context` — builds a context
+  from the finite-domain variable models of :mod:`repro.modeling` (agents
+  observe subsets of the variables; actions are simultaneous assignments);
+* :class:`repro.systems.protocols.Protocol` /
+  :class:`repro.systems.protocols.JointProtocol` — standard protocols mapping
+  local states to non-empty sets of actions;
+* :func:`repro.systems.transition_system.generate_transition_system` — the
+  set of runs of a joint protocol in a context, represented finitely by the
+  reachable global states and transition relation;
+* :class:`repro.systems.interpreted_system.InterpretedSystem` — the
+  interpreted system ``I_rep(P, gamma, pi)`` with knowledge evaluated over
+  reachable states via local-state indistinguishability;
+* :class:`repro.systems.runs.Run` / :class:`repro.systems.runs.Point` — runs
+  and points for run-based (temporal) reasoning.
+"""
+
+from repro.systems.actions import Action, JointAction, NOOP_NAME, noop_action
+from repro.systems.context import Context
+from repro.systems.variable_context import variable_context, VariableContextSpec
+from repro.systems.protocols import (
+    Protocol,
+    JointProtocol,
+    constant_protocol,
+    protocol_from_function,
+)
+from repro.systems.transition_system import TransitionSystem, generate_transition_system
+from repro.systems.interpreted_system import InterpretedSystem, represent
+from repro.systems.runs import Run, Point, enumerate_runs, enumerate_points
+
+__all__ = [
+    "Action",
+    "JointAction",
+    "NOOP_NAME",
+    "noop_action",
+    "Context",
+    "variable_context",
+    "VariableContextSpec",
+    "Protocol",
+    "JointProtocol",
+    "constant_protocol",
+    "protocol_from_function",
+    "TransitionSystem",
+    "generate_transition_system",
+    "InterpretedSystem",
+    "represent",
+    "Run",
+    "Point",
+    "enumerate_runs",
+    "enumerate_points",
+]

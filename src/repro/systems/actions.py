@@ -1,0 +1,112 @@
+"""Actions and joint actions.
+
+In every round each agent performs exactly one action and the environment
+performs one environment action; the tuple of all of these is a *joint
+action*.  Agent actions are identified by hashable labels (strings in all the
+examples); for variable-based contexts an :class:`Action` additionally
+carries the :class:`repro.modeling.state_space.Assignment` describing its
+effect on the global state.
+"""
+
+from repro.modeling.state_space import Assignment, SKIP
+from repro.util.errors import ProgramError
+
+NOOP_NAME = "noop"
+"""The canonical name of the do-nothing action (the paper's ``skip``)."""
+
+
+class Action:
+    """A named action with an effect on the variable state.
+
+    Parameters
+    ----------
+    name:
+        Hashable label used by programs and protocols.
+    effect:
+        An :class:`Assignment` applied to the global state when the action is
+        performed.  Defaults to the empty assignment (``skip``).
+    """
+
+    __slots__ = ("name", "effect")
+
+    def __init__(self, name, effect=None):
+        if name is None or name == "":
+            raise ProgramError("action name must be non-empty")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "effect", effect if effect is not None else SKIP)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Action is immutable")
+
+    def apply(self, state):
+        """Apply the action's effect to a variable-based state."""
+        return self.effect.apply(state)
+
+    def __eq__(self, other):
+        if not isinstance(other, Action):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self):
+        return hash(self.name)
+
+    def __repr__(self):
+        return f"Action({self.name!r})"
+
+    def __str__(self):
+        return str(self.name)
+
+
+def noop_action():
+    """Return a fresh no-op action (name :data:`NOOP_NAME`, empty effect)."""
+    return Action(NOOP_NAME, Assignment({}))
+
+
+class JointAction:
+    """One environment action together with one action label per agent.
+
+    Joint actions are immutable and hashable so they can label transitions.
+    """
+
+    __slots__ = ("env", "_acts", "_key")
+
+    def __init__(self, env, acts):
+        items = tuple(sorted(acts.items()))
+        object.__setattr__(self, "env", env)
+        object.__setattr__(self, "_acts", dict(items))
+        object.__setattr__(self, "_key", (env, items))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("JointAction is immutable")
+
+    def action_of(self, agent):
+        """Return the action label performed by ``agent``."""
+        try:
+            return self._acts[agent]
+        except KeyError:
+            raise ProgramError(f"joint action has no component for agent {agent!r}") from None
+
+    def agents(self):
+        """Return the agents that have a component in this joint action."""
+        return tuple(self._acts)
+
+    def as_dict(self):
+        """Return the agent components as a plain dictionary."""
+        return dict(self._acts)
+
+    def __eq__(self, other):
+        if not isinstance(other, JointAction):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self):
+        return hash(self._key)
+
+    def __repr__(self):
+        inner = ", ".join(f"{agent}={act!r}" for agent, act in sorted(self._acts.items()))
+        return f"JointAction(env={self.env!r}, {inner})"
+
+    def __str__(self):
+        inner = ", ".join(f"{agent}:{act}" for agent, act in sorted(self._acts.items()))
+        env_part = f"env:{self.env}, " if self.env is not None else ""
+        return f"<{env_part}{inner}>"

@@ -1,0 +1,153 @@
+"""Runs and points.
+
+A *run* is an infinite sequence of global states describing one possible
+execution; a *point* is a run together with a time.  For the finite analyses
+performed by this library runs are represented by finite prefixes generated
+from a :class:`repro.systems.transition_system.TransitionSystem`.  The
+admissibility condition ``Psi`` of the context filters run prefixes (e.g.
+fairness of a lossy channel can be approximated by requiring a successful
+delivery within a bounded number of rounds).
+"""
+
+from repro.util.errors import ModelError
+
+
+class Run:
+    """A finite run prefix: states ``r(0), ..., r(k)`` and the joint actions
+    performed between them."""
+
+    __slots__ = ("states", "actions")
+
+    def __init__(self, states, actions):
+        states = tuple(states)
+        actions = tuple(actions)
+        if not states:
+            raise ModelError("a run needs at least one state")
+        if len(actions) != len(states) - 1:
+            raise ModelError(
+                f"a run with {len(states)} states needs {len(states) - 1} actions, "
+                f"got {len(actions)}"
+            )
+        object.__setattr__(self, "states", states)
+        object.__setattr__(self, "actions", actions)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Run is immutable")
+
+    def __len__(self):
+        """Number of rounds (transitions) in the prefix."""
+        return len(self.actions)
+
+    def state(self, time):
+        """Return the global state at ``time`` (``r(time)``)."""
+        try:
+            return self.states[time]
+        except IndexError:
+            raise ModelError(f"run prefix has no state at time {time}") from None
+
+    def point(self, time):
+        """Return the point ``(self, time)``."""
+        if not 0 <= time < len(self.states):
+            raise ModelError(f"run prefix has no point at time {time}")
+        return Point(self, time)
+
+    def points(self):
+        """Iterate over all points of the prefix."""
+        return (Point(self, time) for time in range(len(self.states)))
+
+    def local_history(self, context, agent, time):
+        """Return the sequence of local states of ``agent`` up to ``time``
+        (the agent's view under perfect recall)."""
+        return tuple(context.local_state(agent, self.states[t]) for t in range(time + 1))
+
+    def extend(self, joint_action, state):
+        """Return a new run prefix with one more round appended."""
+        return Run(self.states + (state,), self.actions + (joint_action,))
+
+    def __eq__(self, other):
+        if not isinstance(other, Run):
+            return NotImplemented
+        return self.states == other.states and self.actions == other.actions
+
+    def __hash__(self):
+        return hash((self.states, self.actions))
+
+    def __repr__(self):
+        return f"Run(length={len(self)}, states={list(self.states)})"
+
+
+class Point:
+    """A pair of a run prefix and a time within it."""
+
+    __slots__ = ("run", "time")
+
+    def __init__(self, run, time):
+        if not 0 <= time < len(run.states):
+            raise ModelError(f"time {time} outside run prefix of length {len(run)}")
+        object.__setattr__(self, "run", run)
+        object.__setattr__(self, "time", time)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Point is immutable")
+
+    @property
+    def state(self):
+        """The global state at this point."""
+        return self.run.state(self.time)
+
+    def local_state(self, context, agent):
+        """The local state of ``agent`` at this point."""
+        return context.local_state(agent, self.state)
+
+    def indistinguishable_from(self, other, context, agent):
+        """Return ``True`` if ``agent`` cannot distinguish the two points
+        (their local states coincide)."""
+        return self.local_state(context, agent) == other.local_state(context, agent)
+
+    def __eq__(self, other):
+        if not isinstance(other, Point):
+            return NotImplemented
+        return self.run == other.run and self.time == other.time
+
+    def __hash__(self):
+        return hash((self.run, self.time))
+
+    def __repr__(self):
+        return f"Point(time={self.time}, state={self.state!r})"
+
+
+def enumerate_runs(transition_system, horizon, require_admissible=True):
+    """Enumerate all run prefixes of length ``horizon`` rounds.
+
+    States without outgoing transitions repeat (stutter) to fill the horizon,
+    matching the convention that a finished protocol keeps its final state
+    forever.  When ``require_admissible`` is set, prefixes violating the
+    context's admissibility condition are dropped.
+    """
+    context = transition_system.context
+    results = []
+
+    def extend(run):
+        if len(run) == horizon:
+            if not require_admissible or context.is_admissible(run.states):
+                results.append(run)
+            return
+        successors = transition_system.successors(run.states[-1])
+        if not successors:
+            extend(run.extend(None, run.states[-1]))
+            return
+        for joint_action, target in successors:
+            extend(run.extend(joint_action, target))
+
+    for initial in transition_system.initial_states:
+        if initial in transition_system:
+            extend(Run((initial,), ()))
+    return results
+
+
+def enumerate_points(transition_system, horizon, require_admissible=True):
+    """Enumerate all points of all run prefixes up to ``horizon`` rounds."""
+    points = []
+    for run in enumerate_runs(transition_system, horizon, require_admissible):
+        points.extend(run.points())
+    return points

@@ -1,0 +1,244 @@
+"""Build contexts from finite-domain variable models.
+
+This is the front-end used to state all the paper's examples: a context is
+described by
+
+* a :class:`repro.modeling.state_space.StateSpace` of variables;
+* per-agent *observable variables* (inducing the local-state projection:
+  the local state is the restriction of the assignment to the observables);
+* per-agent actions given as named :class:`repro.modeling.state_space.Assignment`
+  effects (a ``noop`` action is added automatically unless present);
+* an initial-state constraint (boolean expression) or explicit state list;
+* optional environment actions with their own effects and an environment
+  protocol selecting which are available in which state;
+* an optional global constraint restricting the state space.
+
+The transition function applies the environment effect first and then every
+agent's effect, all reading the *pre-round* state (so effects within a round
+do not observe each other); writes to the same variable by different
+participants must be avoided by the modeller and are reported as errors.
+"""
+
+from repro.modeling.expressions import Expression
+from repro.modeling.state_space import Assignment, StateSpace
+from repro.modeling.variables import Variable
+from repro.systems.actions import Action, NOOP_NAME
+from repro.systems.context import Context
+from repro.util.errors import ModelError, ProgramError
+
+
+class VariableContextSpec:
+    """The ingredients of a variable-based context, kept for introspection.
+
+    Instances are produced by :func:`variable_context` and attached to the
+    resulting :class:`repro.systems.context.Context` as ``context.spec`` so
+    that tools (e.g. the implementation search) can enumerate states and
+    actions symbolically.
+    """
+
+    def __init__(self, state_space, observables, actions, env_effects, initial_states):
+        self.state_space = state_space
+        self.observables = observables
+        self.actions = actions
+        self.env_effects = env_effects
+        self.initial_states = initial_states
+
+    def action(self, agent, name):
+        """Return agent ``agent``'s :class:`Action` called ``name``."""
+        try:
+            return self.actions[agent][name]
+        except KeyError:
+            raise ProgramError(f"agent {agent!r} has no action {name!r}") from None
+
+
+def _resolve_variable_names(state_space, names):
+    resolved = []
+    for name in names:
+        if isinstance(name, Variable):
+            name = name.name
+        if name not in state_space:
+            raise ModelError(f"unknown observable variable {name!r}")
+        resolved.append(name)
+    return tuple(sorted(set(resolved)))
+
+
+def _normalise_actions(actions):
+    """Normalise an action table to ``{agent: {name: Action}}``."""
+    table = {}
+    for agent, agent_actions in actions.items():
+        resolved = {}
+        for name, effect in dict(agent_actions).items():
+            if isinstance(effect, Action):
+                action = effect
+            elif isinstance(effect, Assignment):
+                action = Action(name, effect)
+            elif isinstance(effect, dict):
+                action = Action(name, Assignment(effect))
+            else:
+                raise ProgramError(
+                    f"effect of action {name!r} of agent {agent!r} must be an "
+                    f"Assignment, Action or dict, got {effect!r}"
+                )
+            resolved[name] = action
+        if NOOP_NAME not in resolved:
+            resolved[NOOP_NAME] = Action(NOOP_NAME, Assignment({}))
+        table[agent] = resolved
+    return table
+
+
+def variable_context(
+    name,
+    state_space,
+    observables,
+    actions,
+    initial,
+    env_effects=None,
+    env_protocol=None,
+    global_constraint=None,
+    admissibility=None,
+    extra_labels=None,
+):
+    """Build a :class:`repro.systems.context.Context` from a variable model.
+
+    Parameters
+    ----------
+    name:
+        Identifier for reports.
+    state_space:
+        The :class:`StateSpace` of all variables.
+    observables:
+        Mapping ``agent -> iterable of variables/names`` the agent observes.
+    actions:
+        Mapping ``agent -> {action name -> effect}`` where the effect is an
+        :class:`Assignment`, an :class:`Action` or a plain ``{var: expr}``
+        dict.  A ``noop`` action is added when missing.
+    initial:
+        Either a boolean :class:`Expression` selecting the initial states or
+        an explicit iterable of :class:`State` objects.
+    env_effects:
+        Optional mapping ``env action name -> Assignment`` of environment
+        effects; the default environment has the single action ``None`` with
+        no effect.
+    env_protocol:
+        Optional ``state -> iterable of env action names``; defaults to
+        offering every environment action everywhere.
+    global_constraint:
+        Optional boolean expression; states violating it are excluded from
+        the state space (both as initial states and as transition targets —
+        a transition into an excluded state is a modelling error).
+    admissibility:
+        Optional predicate on finite state sequences (the paper's ``Psi``).
+    extra_labels:
+        Optional ``state -> iterable of extra proposition names`` merged into
+        the variable labelling (useful for derived predicates).
+
+    Returns
+    -------
+    Context
+        With the attribute ``spec`` set to a :class:`VariableContextSpec`.
+    """
+    if not isinstance(state_space, StateSpace):
+        raise ModelError("state_space must be a StateSpace instance")
+
+    agents = tuple(observables)
+    observable_names = {
+        agent: _resolve_variable_names(state_space, names) for agent, names in observables.items()
+    }
+    action_table = _normalise_actions(actions)
+    missing = set(agents) - set(action_table)
+    for agent in sorted(missing):
+        action_table[agent] = {NOOP_NAME: Action(NOOP_NAME, Assignment({}))}
+
+    env_effects = {
+        env_name: (effect if isinstance(effect, Assignment) else Assignment(effect))
+        for env_name, effect in dict(env_effects or {}).items()
+    }
+    if not env_effects:
+        env_effects = {None: Assignment({})}
+
+    if env_protocol is None:
+        all_env = tuple(env_effects)
+
+        def env_protocol(state):  # noqa: F811 - intentional default closure
+            return all_env
+
+    allowed = None
+    if global_constraint is not None:
+        allowed = set(state_space.states(global_constraint))
+
+    if isinstance(initial, Expression):
+        initial_states = [
+            state
+            for state in state_space.states(initial)
+            if allowed is None or state in allowed
+        ]
+    else:
+        initial_states = list(initial)
+        for state in initial_states:
+            if allowed is not None and state not in allowed:
+                raise ModelError(f"initial state {state} violates the global constraint")
+    if not initial_states:
+        raise ModelError("no initial states satisfy the initial condition")
+
+    def transition(state, joint_action):
+        env_name = joint_action.env
+        if env_name not in env_effects:
+            raise ModelError(f"unknown environment action {env_name!r}")
+        new_values = state.as_dict()
+        writers = {}
+
+        def merge(effect, who):
+            changes = {name: expr.evaluate(state.as_dict()) for name, expr in effect.updates.items()}
+            for variable_name, value in changes.items():
+                if variable_name in writers and new_values[variable_name] != value:
+                    raise ModelError(
+                        f"write conflict on variable {variable_name!r}: "
+                        f"{writers[variable_name]!r} and {who!r} disagree"
+                    )
+                writers[variable_name] = who
+                new_values[variable_name] = state_space.variable(variable_name).check(value)
+
+        merge(env_effects[env_name], f"env:{env_name}")
+        for agent in agents:
+            act_name = joint_action.action_of(agent)
+            action = action_table[agent].get(act_name)
+            if action is None:
+                raise ProgramError(f"agent {agent!r} has no action {act_name!r}")
+            merge(action.effect, f"{agent}:{act_name}")
+
+        next_state = state_space.state(new_values)
+        if allowed is not None and next_state not in allowed:
+            raise ModelError(
+                f"transition target {next_state} violates the global constraint "
+                f"(from {state} via {joint_action})"
+            )
+        return next_state
+
+    def local_state(agent, state):
+        return state.restrict(observable_names[agent])
+
+    def labelling(state):
+        labels = set(state_space.labelling(state))
+        if extra_labels is not None:
+            labels |= set(extra_labels(state))
+        return labels
+
+    context = Context(
+        name=name,
+        agents=agents,
+        initial_states=initial_states,
+        transition=transition,
+        local_state=local_state,
+        labelling=labelling,
+        agent_actions={agent: tuple(action_table[agent]) for agent in agents},
+        env_actions=env_protocol,
+        admissibility=admissibility,
+    )
+    context.spec = VariableContextSpec(
+        state_space=state_space,
+        observables=observable_names,
+        actions=action_table,
+        env_effects=env_effects,
+        initial_states=tuple(initial_states),
+    )
+    return context

@@ -1,0 +1,346 @@
+"""CTLK: branching-time temporal logic combined with epistemic operators.
+
+Formulas are built from the epistemic language of :mod:`repro.logic` plus the
+path-quantified temporal operators ``EX``, ``EG``, ``E[· U ·]`` and their
+universal duals.  Satisfaction is defined over an interpreted system (or any
+object exposing ``states``, a transition relation and the knowledge
+structure): temporal operators quantify over the paths of the transition
+relation, epistemic operators over indistinguishable reachable states.
+
+Deadlock states (no outgoing transition) are given an implicit self-loop so
+that path quantification is total; the library's example systems either are
+total or end in stable "finished" states where this convention is the
+intended reading.
+"""
+
+from repro.logic.formula import (
+    And,
+    CommonKnows,
+    DistributedKnows,
+    EveryoneKnows,
+    FalseFormula,
+    Formula,
+    Iff,
+    Implies,
+    Knows,
+    Not,
+    Or,
+    Possible,
+    Prop,
+    TrueFormula,
+)
+from repro.util.errors import FormulaError, ModelError
+
+
+class TemporalFormula(Formula):
+    """Base class of the temporal operators (they compose with the epistemic
+    formulas of :mod:`repro.logic`)."""
+
+    __slots__ = ()
+
+
+class _UnaryTemporal(TemporalFormula):
+    __slots__ = ("operand",)
+    _symbol = "?"
+
+    def __init__(self, operand):
+        if not isinstance(operand, Formula):
+            raise FormulaError(f"temporal operand must be a Formula, got {operand!r}")
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("temporal formulas are immutable")
+
+    def children(self):
+        return (self.operand,)
+
+    def _key(self):
+        return self.operand
+
+    def _substitute(self, mapping):
+        return type(self)(self.operand._substitute(mapping))
+
+    def __str__(self):
+        return f"{self._symbol} {self.operand}"
+
+
+class _BinaryTemporal(TemporalFormula):
+    __slots__ = ("left", "right")
+    _symbol = "?"
+
+    def __init__(self, left, right):
+        for operand in (left, right):
+            if not isinstance(operand, Formula):
+                raise FormulaError(f"temporal operand must be a Formula, got {operand!r}")
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("temporal formulas are immutable")
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _key(self):
+        return (self.left, self.right)
+
+    def _substitute(self, mapping):
+        return type(self)(self.left._substitute(mapping), self.right._substitute(mapping))
+
+
+class EX(_UnaryTemporal):
+    """``EX phi`` — on some path, ``phi`` holds in the next state."""
+
+    __slots__ = ()
+    _symbol = "EX"
+
+
+class EG(_UnaryTemporal):
+    """``EG phi`` — on some path, ``phi`` holds forever."""
+
+    __slots__ = ()
+    _symbol = "EG"
+
+
+class EF(_UnaryTemporal):
+    """``EF phi`` — on some path, ``phi`` eventually holds."""
+
+    __slots__ = ()
+    _symbol = "EF"
+
+
+class AX(_UnaryTemporal):
+    """``AX phi`` — on every path, ``phi`` holds in the next state."""
+
+    __slots__ = ()
+    _symbol = "AX"
+
+
+class AG(_UnaryTemporal):
+    """``AG phi`` — on every path, ``phi`` holds forever (invariance)."""
+
+    __slots__ = ()
+    _symbol = "AG"
+
+
+class AF(_UnaryTemporal):
+    """``AF phi`` — on every path, ``phi`` eventually holds."""
+
+    __slots__ = ()
+    _symbol = "AF"
+
+
+class EU(_BinaryTemporal):
+    """``E[phi U psi]`` — on some path, ``phi`` holds until ``psi`` does."""
+
+    __slots__ = ()
+
+    def __str__(self):
+        return f"E[{self.left} U {self.right}]"
+
+
+class AU(_BinaryTemporal):
+    """``A[phi U psi]`` — on every path, ``phi`` holds until ``psi`` does."""
+
+    __slots__ = ()
+
+    def __str__(self):
+        return f"A[{self.left} U {self.right}]"
+
+
+class CTLKModelChecker:
+    """Explicit-state CTLK model checking over an interpreted system.
+
+    Temporal operators are computed by the standard fixed-point algorithms
+    over the (totalised) transition relation; epistemic operators are
+    delegated to the knowledge structure of the system.
+    """
+
+    def __init__(self, system):
+        self.system = system
+        self._states = list(system.states)
+        self._state_set = set(self._states)
+        relation = system.transition_system.transition_relation()
+        successors = {state: set() for state in self._states}
+        predecessors = {state: set() for state in self._states}
+        for source, target in relation:
+            successors[source].add(target)
+            predecessors[target].add(source)
+        # Totalise: deadlock states loop to themselves.
+        for state in self._states:
+            if not successors[state]:
+                successors[state].add(state)
+                predecessors[state].add(state)
+        self._successors = successors
+        self._predecessors = predecessors
+        self._cache = {}
+
+    # -- public API ------------------------------------------------------------------
+
+    def extension(self, formula):
+        """Return the set of reachable states satisfying ``formula``."""
+        if formula not in self._cache:
+            self._cache[formula] = frozenset(self._evaluate(formula))
+        return self._cache[formula]
+
+    def holds(self, state, formula):
+        """Return ``True`` iff ``formula`` holds at the reachable ``state``."""
+        if state not in self._state_set:
+            raise ModelError(f"state {state!r} is not reachable in the checked system")
+        return state in self.extension(formula)
+
+    def valid(self, formula):
+        """Return ``True`` iff ``formula`` holds at every initial state."""
+        ext = self.extension(formula)
+        return all(state in ext for state in self.system.initial_states)
+
+    def reachable(self, formula):
+        """Return ``True`` iff some reachable state satisfies ``formula``."""
+        return bool(self.extension(formula))
+
+    def witness_state(self, formula):
+        """Return some reachable state satisfying ``formula`` (or ``None``)."""
+        ext = self.extension(formula)
+        for state in self._states:
+            if state in ext:
+                return state
+        return None
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def _evaluate(self, formula):
+        states = set(self._states)
+        if isinstance(formula, TrueFormula):
+            return states
+        if isinstance(formula, FalseFormula):
+            return set()
+        if isinstance(formula, Prop):
+            return {s for s in states if formula.name in self.system.context.labelling(s)}
+        if isinstance(formula, Not):
+            return states - self.extension(formula.operand)
+        if isinstance(formula, And):
+            result = set(states)
+            for operand in formula.operands:
+                result &= self.extension(operand)
+            return result
+        if isinstance(formula, Or):
+            result = set()
+            for operand in formula.operands:
+                result |= self.extension(operand)
+            return result
+        if isinstance(formula, Implies):
+            return (states - self.extension(formula.antecedent)) | self.extension(
+                formula.consequent
+            )
+        if isinstance(formula, Iff):
+            left = self.extension(formula.left)
+            right = self.extension(formula.right)
+            return (left & right) | ((states - left) & (states - right))
+        if isinstance(
+            formula, (Knows, Possible, EveryoneKnows, CommonKnows, DistributedKnows)
+        ):
+            return self._evaluate_epistemic(formula)
+        if isinstance(formula, EX):
+            return self._pre_exists(self.extension(formula.operand))
+        if isinstance(formula, EF):
+            return self._least_fixpoint_eu(set(states), self.extension(formula.operand))
+        if isinstance(formula, EU):
+            return self._least_fixpoint_eu(
+                self.extension(formula.left), self.extension(formula.right)
+            )
+        if isinstance(formula, EG):
+            return self._greatest_fixpoint_eg(self.extension(formula.operand))
+        if isinstance(formula, AX):
+            target = self.extension(formula.operand)
+            return {s for s in states if self._successors[s] <= target}
+        if isinstance(formula, AF):
+            # AF phi == not EG not phi
+            return states - self._greatest_fixpoint_eg(states - self.extension(formula.operand))
+        if isinstance(formula, AG):
+            # AG phi == not EF not phi
+            return states - self._least_fixpoint_eu(
+                set(states), states - self.extension(formula.operand)
+            )
+        if isinstance(formula, AU):
+            # A[phi U psi] == not (E[!psi U (!phi & !psi)] | EG !psi)
+            left = self.extension(formula.left)
+            right = self.extension(formula.right)
+            not_right = states - right
+            bad_until = self._least_fixpoint_eu(not_right, not_right - left)
+            bad_globally = self._greatest_fixpoint_eg(not_right)
+            return states - (bad_until | bad_globally)
+        raise FormulaError(f"cannot model check unknown formula node {formula!r}")
+
+    def _evaluate_epistemic(self, formula):
+        """Evaluate an epistemic operator whose operand may itself be a CTLK
+        formula: the operand's extension is computed first and the knowledge
+        relation of the system's structure is applied to it."""
+        structure = self.system.structure
+        inner = self.extension(formula.operand)
+        states = set(self._states)
+        if isinstance(formula, Knows):
+            return {s for s in states if set(structure.accessible(formula.agent, s)) <= inner}
+        if isinstance(formula, Possible):
+            return {s for s in states if set(structure.accessible(formula.agent, s)) & inner}
+        if isinstance(formula, EveryoneKnows):
+            return {
+                s
+                for s in states
+                if all(set(structure.accessible(a, s)) <= inner for a in formula.group)
+            }
+        if isinstance(formula, CommonKnows):
+            adjacency = structure.group_relation(formula.group, mode="union")
+            result = set()
+            for s in states:
+                reachable = structure.reachable_via(adjacency, adjacency.get(s, frozenset()))
+                if reachable <= inner:
+                    result.add(s)
+            return result
+        if isinstance(formula, DistributedKnows):
+            adjacency = structure.group_relation(formula.group, mode="intersection")
+            return {s for s in states if set(adjacency.get(s, frozenset())) <= inner}
+        raise FormulaError(f"unknown epistemic operator {formula!r}")
+
+    # -- fixed points -------------------------------------------------------------------
+
+    def _pre_exists(self, target):
+        """States with some successor in ``target``."""
+        return {s for s in self._states if self._successors[s] & target}
+
+    def _least_fixpoint_eu(self, hold, target):
+        """Standard backward fixed point for ``E[hold U target]``."""
+        result = set(target)
+        frontier = list(target)
+        while frontier:
+            state = frontier.pop()
+            for predecessor in self._predecessors[state]:
+                if predecessor in result:
+                    continue
+                if predecessor in hold or predecessor in target:
+                    result.add(predecessor)
+                    frontier.append(predecessor)
+        return result
+
+    def _greatest_fixpoint_eg(self, hold):
+        """Greatest fixed point for ``EG hold``."""
+        result = set(hold)
+        changed = True
+        while changed:
+            changed = False
+            for state in list(result):
+                if not (self._successors[state] & result):
+                    result.discard(state)
+                    changed = True
+        return result
+
+
+def check_valid(system, formula):
+    """Return ``True`` iff ``formula`` holds at every initial state of the
+    interpreted system."""
+    return CTLKModelChecker(system).valid(formula)
+
+
+def check_reachable(system, formula):
+    """Return ``True`` iff some reachable state of the interpreted system
+    satisfies ``formula``."""
+    return CTLKModelChecker(system).reachable(formula)

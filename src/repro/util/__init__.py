@@ -1,0 +1,29 @@
+"""Shared utilities: error types and small generic helpers."""
+
+from repro.util.errors import (
+    ReproError,
+    FormulaError,
+    ParseError,
+    ModelError,
+    ProgramError,
+    InterpretationError,
+)
+from repro.util.helpers import (
+    frozen_mapping,
+    powerset,
+    product_dicts,
+    stable_unique,
+)
+
+__all__ = [
+    "ReproError",
+    "FormulaError",
+    "ParseError",
+    "ModelError",
+    "ProgramError",
+    "InterpretationError",
+    "frozen_mapping",
+    "powerset",
+    "product_dicts",
+    "stable_unique",
+]

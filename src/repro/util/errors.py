@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific exceptions derive from :class:`ReproError` so that
+callers can catch any library failure with a single ``except`` clause while
+still being able to distinguish the broad failure classes below.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class FormulaError(ReproError):
+    """Raised when an epistemic or temporal formula is malformed or used in a
+    context where it is not meaningful (e.g. an unknown agent in ``K``)."""
+
+
+class ParseError(FormulaError):
+    """Raised by the formula parser on syntactically invalid input.
+
+    Attributes
+    ----------
+    text:
+        The full input text being parsed.
+    position:
+        Character offset at which the error was detected.
+    """
+
+    def __init__(self, message, text=None, position=None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+    def __str__(self):
+        base = super().__str__()
+        if self.text is not None and self.position is not None:
+            pointer = " " * self.position + "^"
+            return f"{base}\n  {self.text}\n  {pointer}"
+        return base
+
+
+class ModelError(ReproError):
+    """Raised when a Kripke structure, context or interpreted system is
+    inconsistent (unknown worlds, non-equivalence accessibility where one is
+    required, undefined transitions, ...)."""
+
+
+class ProgramError(ReproError):
+    """Raised when a standard or knowledge-based program is malformed, e.g.
+    a clause refers to an unknown agent or action."""
+
+
+class InterpretationError(ReproError):
+    """Raised when interpreting a knowledge-based program fails, e.g. the
+    iterative interpretation is asked for a unique implementation of a
+    program that has none."""

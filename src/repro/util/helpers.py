@@ -1,0 +1,60 @@
+"""Small generic helpers used throughout the library.
+
+These are deliberately dependency-free and pure; they operate on builtin
+containers only.
+"""
+
+from itertools import chain, combinations, product
+from types import MappingProxyType
+
+
+def frozen_mapping(mapping):
+    """Return a read-only view of ``mapping``.
+
+    The view reflects the underlying dictionary, so callers should pass a
+    private copy when true immutability is needed::
+
+        >>> m = frozen_mapping({"a": 1})
+        >>> m["a"]
+        1
+    """
+    return MappingProxyType(dict(mapping))
+
+
+def powerset(iterable):
+    """Yield all subsets of ``iterable`` as tuples, smallest first.
+
+    >>> list(powerset([1, 2]))
+    [(), (1,), (2,), (1, 2)]
+    """
+    items = list(iterable)
+    return chain.from_iterable(combinations(items, r) for r in range(len(items) + 1))
+
+def product_dicts(domains):
+    """Yield every assignment (as a dict) choosing one value per key.
+
+    ``domains`` maps keys to iterables of candidate values.  The iteration
+    order of the keys is preserved so the enumeration is deterministic.
+
+    >>> list(product_dicts({"x": [0, 1]}))
+    [{'x': 0}, {'x': 1}]
+    """
+    keys = list(domains)
+    value_lists = [list(domains[key]) for key in keys]
+    for combo in product(*value_lists):
+        yield dict(zip(keys, combo))
+
+
+def stable_unique(items):
+    """Return ``items`` with duplicates removed, preserving first-seen order.
+
+    >>> stable_unique([3, 1, 3, 2, 1])
+    [3, 1, 2]
+    """
+    seen = set()
+    result = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            result.append(item)
+    return result

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.kripke import structure_from_labels, single_agent_structure
+from repro.modeling import StateSpace, boolean, ite, ranged, var
+from repro.systems import variable_context
+
+
+@pytest.fixture
+def two_agent_structure():
+    """A small two-agent S5 structure: agent ``a`` observes ``p``, agent
+    ``b`` observes ``q``; four worlds for the four valuations of ``p, q``."""
+    labelling = {
+        "w00": set(),
+        "w01": {"q"},
+        "w10": {"p"},
+        "w11": {"p", "q"},
+    }
+    return structure_from_labels(labelling, {"a": {"p"}, "b": {"q"}})
+
+
+@pytest.fixture
+def blind_structure():
+    """A single blind agent over three worlds labelled 0, 1, 2."""
+    labelling = {f"w{i}": {f"x={i}"} for i in range(3)}
+    return single_agent_structure(labelling, agent="a", blind=True)
+
+
+@pytest.fixture
+def counter_context():
+    """A tiny variable context: one agent that observes a counter and can
+    increment it up to 3 or leave it alone."""
+    counter = ranged("c", 0, 3)
+    flag = boolean("flag")
+    space = StateSpace([counter, flag])
+    return variable_context(
+        "counter",
+        space,
+        observables={"agent": ["c"]},
+        actions={
+            "agent": {
+                "inc": {"c": ite(var(counter) < 3, var(counter) + 1, var(counter))},
+                "set_flag": {"flag": True},
+            }
+        },
+        initial=(var(counter) == 0) & (~var(flag)),
+    )

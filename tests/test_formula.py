@@ -1,0 +1,158 @@
+"""Unit tests for the formula AST (:mod:`repro.logic.formula`)."""
+
+import pytest
+
+from repro.logic.formula import (
+    And,
+    CommonKnows,
+    DistributedKnows,
+    EveryoneKnows,
+    FALSE,
+    Iff,
+    Implies,
+    Knows,
+    Not,
+    Or,
+    Possible,
+    Prop,
+    TRUE,
+    conj,
+    disj,
+    knows,
+    possible,
+    prop,
+)
+
+
+class TestConstruction:
+    def test_prop_requires_nonempty_name(self):
+        with pytest.raises(ValueError):
+            Prop("")
+
+    def test_prop_requires_string(self):
+        with pytest.raises(ValueError):
+            Prop(3)
+
+    def test_knows_requires_agent_name(self):
+        with pytest.raises(ValueError):
+            Knows("", Prop("p"))
+
+    def test_group_modality_rejects_empty_group(self):
+        with pytest.raises(ValueError):
+            CommonKnows([], Prop("p"))
+
+    def test_group_is_sorted_and_deduplicated(self):
+        formula = EveryoneKnows(["b", "a", "b"], Prop("p"))
+        assert formula.group == ("a", "b")
+
+    def test_string_operands_are_coerced_to_props(self):
+        formula = Knows("a", "p")
+        assert formula.operand == Prop("p")
+
+    def test_bool_operands_are_coerced_to_constants(self):
+        assert Not(True).operand is TRUE
+        assert Not(False).operand is FALSE
+
+    def test_nary_connectives_flatten(self):
+        formula = And((And((Prop("p"), Prop("q"))), Prop("r")))
+        assert len(formula.operands) == 3
+
+    def test_empty_connective_rejected(self):
+        with pytest.raises(ValueError):
+            And(())
+
+
+class TestOperators:
+    def test_and_operator(self):
+        assert (Prop("p") & Prop("q")) == And((Prop("p"), Prop("q")))
+
+    def test_or_operator(self):
+        assert (Prop("p") | Prop("q")) == Or((Prop("p"), Prop("q")))
+
+    def test_invert_operator(self):
+        assert ~Prop("p") == Not(Prop("p"))
+
+    def test_rshift_builds_implication(self):
+        assert (Prop("p") >> Prop("q")) == Implies(Prop("p"), Prop("q"))
+
+    def test_iff_helper(self):
+        assert Prop("p").iff(Prop("q")) == Iff(Prop("p"), Prop("q"))
+
+    def test_conj_of_empty_is_true(self):
+        assert conj([]) is TRUE
+
+    def test_disj_of_empty_is_false(self):
+        assert disj([]) is FALSE
+
+    def test_conj_of_single_formula_is_identity(self):
+        assert conj([Prop("p")]) == Prop("p")
+
+
+class TestEqualityAndHashing:
+    def test_structural_equality(self):
+        assert Knows("a", Prop("p") & Prop("q")) == Knows("a", Prop("p") & Prop("q"))
+
+    def test_inequality_of_different_agents(self):
+        assert Knows("a", Prop("p")) != Knows("b", Prop("p"))
+
+    def test_hash_consistency(self):
+        formulas = {Knows("a", Prop("p")), Knows("a", Prop("p")), Possible("a", Prop("p"))}
+        assert len(formulas) == 2
+
+    def test_and_or_not_interchangeable(self):
+        assert And((Prop("p"), Prop("q"))) != Or((Prop("p"), Prop("q")))
+
+
+class TestStructuralQueries:
+    def test_atoms(self):
+        formula = Knows("a", Prop("p") & ~Prop("q")) | Prop("r")
+        assert formula.atoms() == {"p", "q", "r"}
+
+    def test_agents(self):
+        formula = Knows("a", Possible("b", Prop("p"))) & EveryoneKnows(["c", "d"], Prop("q"))
+        assert formula.agents() == {"a", "b", "c", "d"}
+
+    def test_modal_depth(self):
+        assert Prop("p").modal_depth() == 0
+        assert Knows("a", Prop("p")).modal_depth() == 1
+        assert Knows("a", Possible("b", Prop("p"))).modal_depth() == 2
+        assert (Knows("a", Prop("p")) & Prop("q")).modal_depth() == 1
+
+    def test_is_propositional(self):
+        assert (Prop("p") & ~Prop("q")).is_propositional()
+        assert not Knows("a", Prop("p")).is_propositional()
+
+    def test_subformulas_bottom_up_without_duplicates(self):
+        formula = Prop("p") & Prop("p")
+        subs = formula.subformulas()
+        assert subs.count(Prop("p")) == 1
+        assert subs[-1] == formula
+
+    def test_substitute_replaces_propositions(self):
+        formula = Knows("a", Prop("p")) & Prop("q")
+        replaced = formula.substitute({"p": Prop("r") | Prop("s")})
+        assert replaced == Knows("a", Prop("r") | Prop("s")) & Prop("q")
+
+    def test_substitute_leaves_other_atoms(self):
+        formula = Prop("p") & Prop("q")
+        assert formula.substitute({"p": TRUE}) == TRUE & Prop("q")
+
+
+class TestPrinting:
+    def test_knows_rendering(self):
+        assert str(Knows("R", Prop("sbit"))) == "K[R] sbit"
+
+    def test_group_rendering(self):
+        assert str(CommonKnows(["a", "b"], Prop("p"))) == "C[a,b] p"
+
+    def test_nested_rendering_roundtrips_through_parser(self):
+        from repro.logic import parse
+
+        formula = (Knows("a", Prop("p")) & ~Possible("b", Prop("q"))) | DistributedKnows(
+            ["a", "b"], Prop("r")
+        )
+        assert parse(str(formula)) == formula
+
+    def test_convenience_constructors(self):
+        assert knows("a", prop("p")) == Knows("a", Prop("p"))
+        assert possible("a", "p") == Possible("a", Prop("p"))

@@ -1,0 +1,211 @@
+"""Tests for epistemic structures and their operations (:mod:`repro.kripke`)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kripke import (
+    EpistemicStructure,
+    are_bisimilar,
+    bisimulation_classes,
+    disjoint_union,
+    generated_substructure,
+    product_structure,
+    quotient_structure,
+    restrict_to_worlds,
+    single_agent_structure,
+    structure_from_labels,
+    structure_from_observations,
+    structure_from_partition,
+    union_structures,
+)
+from repro.logic import extension, holds, parse
+from repro.util.errors import ModelError
+
+
+class TestStructureValidation:
+    def test_duplicate_worlds_rejected(self):
+        with pytest.raises(ModelError):
+            EpistemicStructure(["w", "w"], {"a": {}}, {"w": set()})
+
+    def test_unknown_successor_rejected(self):
+        with pytest.raises(ModelError):
+            EpistemicStructure(["w"], {"a": {"w": {"v"}}}, {"w": set()})
+
+    def test_unknown_labelled_world_rejected(self):
+        with pytest.raises(ModelError):
+            EpistemicStructure(["w"], {"a": {}}, {"w": set(), "v": {"p"}})
+
+    def test_accessibility_for_undeclared_agent_rejected(self):
+        with pytest.raises(ModelError):
+            EpistemicStructure(["w"], {"a": {}, "b": {}}, {"w": set()}, agents=["a"])
+
+    def test_unknown_agent_lookup_raises(self, two_agent_structure):
+        with pytest.raises(ModelError):
+            two_agent_structure.accessible("zz", "w00")
+
+    def test_unknown_world_lookup_raises(self, two_agent_structure):
+        with pytest.raises(ModelError):
+            two_agent_structure.labels("zz")
+
+
+class TestRelationalProperties:
+    def test_observability_structures_are_s5(self, two_agent_structure):
+        assert two_agent_structure.is_s5()
+        assert two_agent_structure.is_euclidean()
+
+    def test_equivalence_classes_partition_the_worlds(self, two_agent_structure):
+        classes = two_agent_structure.equivalence_classes("a")
+        union = set().union(*classes)
+        assert union == set(two_agent_structure.worlds)
+        assert sum(len(c) for c in classes) == len(two_agent_structure.worlds)
+
+    def test_non_equivalence_relation_detected(self):
+        structure = EpistemicStructure(
+            ["w", "v"], {"a": {"w": {"v"}}}, {"w": set(), "v": set()}
+        )
+        assert not structure.is_reflexive("a")
+        assert not structure.is_s5("a")
+        with pytest.raises(ModelError):
+            structure.equivalence_classes("a")
+
+    def test_blind_agent_single_class(self, blind_structure):
+        classes = blind_structure.equivalence_classes("a")
+        assert len(classes) == 1
+
+
+class TestBuilders:
+    def test_structure_from_observations(self):
+        structure = structure_from_observations(
+            ["x", "y", "z"],
+            lambda agent, world: world == "z",
+            {"x": set(), "y": {"p"}, "z": {"p"}},
+            agents=["a"],
+        )
+        assert structure.accessible("a", "x") == frozenset({"x", "y"})
+        assert structure.accessible("a", "z") == frozenset({"z"})
+
+    def test_structure_from_partition(self):
+        structure = structure_from_partition(
+            {"a": [["w1", "w2"], ["w3"]]},
+            {"w1": set(), "w2": {"p"}, "w3": {"p"}},
+        )
+        assert structure.accessible("a", "w1") == frozenset({"w1", "w2"})
+        assert structure.accessible("a", "w3") == frozenset({"w3"})
+
+    def test_overlapping_partition_rejected(self):
+        with pytest.raises(ModelError):
+            structure_from_partition(
+                {"a": [["w1", "w2"], ["w2"]]}, {"w1": set(), "w2": set()}
+            )
+
+    def test_perfect_information_agent(self):
+        structure = single_agent_structure({"w1": set(), "w2": {"p"}}, blind=False)
+        assert holds(structure, "w2", parse("K[a] p"))
+
+
+class TestOperations:
+    def test_restrict_to_worlds(self, two_agent_structure):
+        restricted = restrict_to_worlds(two_agent_structure, ["w00", "w01"])
+        assert set(restricted.worlds) == {"w00", "w01"}
+        # Agent a cannot see q, so the two remaining worlds stay indistinguishable.
+        assert restricted.accessible("a", "w00") == frozenset({"w00", "w01"})
+
+    def test_restriction_changes_knowledge(self, two_agent_structure):
+        # Over all worlds agent b does not know !p at w01; after removing the
+        # p-worlds it does: knowledge depends on which worlds are reachable.
+        assert not holds(two_agent_structure, "w01", parse("K[b] !p"))
+        restricted = restrict_to_worlds(two_agent_structure, ["w00", "w01"])
+        assert holds(restricted, "w01", parse("K[b] !p"))
+
+    def test_restrict_to_unknown_world_rejected(self, two_agent_structure):
+        with pytest.raises(ModelError):
+            restrict_to_worlds(two_agent_structure, ["nope"])
+
+    def test_generated_substructure(self, two_agent_structure):
+        generated = generated_substructure(two_agent_structure, ["w00"], agents=["a"])
+        # Agent a observes p, so from w00 it only reaches the !p worlds.
+        assert set(generated.worlds) == {"w00", "w01"}
+
+    def test_generated_substructure_all_agents(self, two_agent_structure):
+        generated = generated_substructure(two_agent_structure, ["w00"])
+        assert set(generated.worlds) == set(two_agent_structure.worlds)
+
+    def test_union_structures(self, two_agent_structure):
+        union = union_structures(two_agent_structure, two_agent_structure)
+        assert union == two_agent_structure
+
+    def test_disjoint_union(self, two_agent_structure, blind_structure):
+        other = structure_from_labels(
+            {w: two_agent_structure.labels(w) for w in two_agent_structure.worlds},
+            {"a": {"p", "q"}, "b": set()},
+        )
+        combined = disjoint_union(two_agent_structure, other)
+        assert len(combined) == 2 * len(two_agent_structure)
+        assert holds(combined, ("L", "w10"), parse("K[a] p"))
+
+    def test_product_structure(self, two_agent_structure):
+        product = product_structure(two_agent_structure, two_agent_structure)
+        assert len(product) == len(two_agent_structure) ** 2
+        assert product.is_s5()
+
+
+class TestBisimulation:
+    def test_duplicate_worlds_are_bisimilar(self):
+        labelling = {"w1": {"p"}, "w2": {"p"}, "w3": set()}
+        structure = single_agent_structure(labelling, blind=True)
+        assert are_bisimilar(structure, "w1", "w2")
+        assert not are_bisimilar(structure, "w1", "w3")
+
+    def test_quotient_preserves_formulas(self):
+        labelling = {"w1": {"p"}, "w2": {"p"}, "w3": set()}
+        structure = single_agent_structure(labelling, blind=True)
+        quotient = quotient_structure(structure)
+        assert len(quotient) == 2
+        for formula_text in ("K[a] p", "M[a] p", "M[a] !p", "K[a] (p | !p)"):
+            formula = parse(formula_text)
+            for cls in quotient.worlds:
+                representative = next(iter(cls))
+                assert holds(quotient, cls, formula) == holds(
+                    structure, representative, formula
+                )
+
+    def test_bisimulation_classes_refine_labelling(self, two_agent_structure):
+        for cls in bisimulation_classes(two_agent_structure):
+            labels = {two_agent_structure.labels(w) for w in cls}
+            assert len(labels) == 1
+
+
+@st.composite
+def labelled_worlds(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    return {
+        f"w{i}": {p for p in ("p", "q") if draw(st.booleans())} for i in range(n)
+    }
+
+
+class TestKripkeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(labelling=labelled_worlds(), observed=st.sets(st.sampled_from(["p", "q"])))
+    def test_observability_builder_yields_equivalences(self, labelling, observed):
+        structure = structure_from_labels(labelling, {"a": observed})
+        assert structure.is_s5()
+
+    @settings(max_examples=50, deadline=None)
+    @given(labelling=labelled_worlds())
+    def test_quotient_never_larger(self, labelling):
+        structure = structure_from_labels(labelling, {"a": {"p"}, "b": {"q"}})
+        quotient = quotient_structure(structure)
+        assert len(quotient) <= len(structure)
+
+    @settings(max_examples=50, deadline=None)
+    @given(labelling=labelled_worlds())
+    def test_knowledge_monotone_under_restriction(self, labelling):
+        """Removing worlds can only increase knowledge (fewer possibilities)."""
+        structure = structure_from_labels(labelling, {"a": set()})
+        formula = parse("K[a] p")
+        full_extension = extension(structure, formula)
+        worlds = list(labelling)
+        kept = worlds[: max(1, len(worlds) // 2)]
+        restricted = restrict_to_worlds(structure, kept)
+        restricted_extension = extension(restricted, formula)
+        assert full_extension & set(kept) <= restricted_extension

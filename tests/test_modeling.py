@@ -1,0 +1,254 @@
+"""Tests for the finite-domain variable modelling layer (:mod:`repro.modeling`)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import extension
+from repro.kripke import structure_from_labels
+from repro.modeling import (
+    Assignment,
+    State,
+    StateSpace,
+    atom_name,
+    boolean,
+    const,
+    enumerated,
+    ite,
+    ranged,
+    var,
+)
+from repro.modeling.state_space import SKIP
+from repro.util.errors import ModelError
+
+
+class TestVariables:
+    def test_ranged_domain(self):
+        x = ranged("x", 0, 3)
+        assert x.domain == (0, 1, 2, 3)
+        assert x.contains(2)
+        assert not x.contains(4)
+
+    def test_boolean_variable(self):
+        b = boolean("b")
+        assert b.is_boolean
+        assert set(b.domain) == {False, True}
+
+    def test_enumerated_variable(self):
+        c = enumerated("c", ["red", "green"])
+        assert c.domain == ("red", "green")
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ModelError):
+            enumerated("c", [])
+
+    def test_duplicate_domain_rejected(self):
+        with pytest.raises(ModelError):
+            enumerated("c", [1, 1])
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ModelError):
+            ranged("x", 3, 2)
+
+    def test_check_rejects_out_of_domain(self):
+        with pytest.raises(ModelError):
+            ranged("x", 0, 1).check(5)
+
+    def test_variables_are_immutable(self):
+        x = ranged("x", 0, 1)
+        with pytest.raises(AttributeError):
+            x.name = "y"
+
+
+class TestExpressions:
+    def setup_method(self):
+        self.x = ranged("x", 0, 3)
+        self.b = boolean("b")
+
+    def test_arithmetic_evaluation(self):
+        expr = var(self.x) + 2
+        assert expr.evaluate({"x": 1}) == 3
+        assert (var(self.x) * 2 - 1).evaluate({"x": 2}) == 3
+
+    def test_comparison_evaluation(self):
+        assert (var(self.x) < 2).evaluate({"x": 1})
+        assert not (var(self.x) >= 2).evaluate({"x": 1})
+        assert (var(self.x) != 1).evaluate({"x": 0})
+
+    def test_boolean_connectives(self):
+        expr = (var(self.x) == 1) | ((var(self.b)) & (var(self.x) == 2))
+        assert expr.evaluate({"x": 1, "b": False})
+        assert expr.evaluate({"x": 2, "b": True})
+        assert not expr.evaluate({"x": 2, "b": False})
+
+    def test_negation(self):
+        assert (~var(self.b)).evaluate({"b": False})
+
+    def test_ite(self):
+        expr = ite(var(self.x) < 3, var(self.x) + 1, var(self.x))
+        assert expr.evaluate({"x": 2}) == 3
+        assert expr.evaluate({"x": 3}) == 3
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(ModelError):
+            var(self.x).evaluate({})
+
+    def test_variables_collected(self):
+        expr = (var(self.x) + 1 == 2) & var(self.b)
+        assert expr.variables() == {self.x, self.b}
+
+    def test_constant_expression_to_formula(self):
+        assert str(const(True).to_formula()) == "true"
+        assert str(const(False).to_formula()) == "false"
+
+    def test_to_formula_matches_evaluation(self):
+        """The compiled propositional formula holds exactly at the states
+        satisfying the expression."""
+        space = StateSpace([self.x, self.b])
+        expr = (var(self.x) != 1) & var(self.b)
+        labelling = {state: space.labelling(state) for state in space.states()}
+        structure = structure_from_labels(labelling, {"agent": space.propositions()})
+        formula_extension = extension(structure, expr.to_formula())
+        expected = {state for state in space.states() if state.satisfies(expr)}
+        assert formula_extension == expected
+
+
+class TestStates:
+    def setup_method(self):
+        self.x = ranged("x", 0, 3)
+        self.b = boolean("b")
+        self.space = StateSpace([self.x, self.b])
+
+    def test_state_lookup(self):
+        state = self.space.state(x=2, b=True)
+        assert state["x"] == 2
+        assert state[self.b] is True
+
+    def test_state_is_immutable_and_hashable(self):
+        state = self.space.state(x=0, b=False)
+        assert state == self.space.state(x=0, b=False)
+        assert hash(state) == hash(self.space.state(x=0, b=False))
+        with pytest.raises(AttributeError):
+            state.foo = 1
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(ModelError):
+            self.space.state(x=1)
+
+    def test_out_of_domain_value_rejected(self):
+        with pytest.raises(ModelError):
+            self.space.state(x=9, b=False)
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ModelError):
+            self.space.state(x=1, b=True, z=0)
+
+    def test_restrict_gives_local_state(self):
+        state = self.space.state(x=3, b=True)
+        assert state.restrict(["x"]) == (("x", 3),)
+        assert state.restrict([]) == ()
+
+    def test_update_returns_new_state(self):
+        state = self.space.state(x=1, b=False)
+        updated = state.update({"x": 2})
+        assert updated["x"] == 2
+        assert state["x"] == 1
+
+    def test_update_unknown_variable_rejected(self):
+        with pytest.raises(ModelError):
+            self.space.state(x=1, b=False).update({"z": 1})
+
+
+class TestAssignments:
+    def setup_method(self):
+        self.x = ranged("x", 0, 3)
+        self.y = ranged("y", 0, 3)
+        self.space = StateSpace([self.x, self.y])
+
+    def test_simultaneous_swap(self):
+        state = self.space.state(x=1, y=2)
+        swapped = Assignment({self.x: var(self.y), self.y: var(self.x)}).apply(state)
+        assert swapped["x"] == 2 and swapped["y"] == 1
+
+    def test_skip_is_identity(self):
+        state = self.space.state(x=1, y=2)
+        assert SKIP.apply(state) == state
+
+    def test_written_and_read_variables(self):
+        assignment = Assignment({self.x: var(self.y) + 1})
+        assert assignment.written_variables() == {"x"}
+        assert assignment.read_variables() == {self.y}
+
+    def test_constant_assignment(self):
+        state = self.space.state(x=0, y=0)
+        assert Assignment({"x": 3}).apply(state)["x"] == 3
+
+
+class TestStateSpace:
+    def test_size_and_enumeration(self):
+        space = StateSpace([ranged("x", 0, 2), boolean("b")])
+        assert space.size() == 6
+        assert len(space.all_states()) == 6
+
+    def test_enumeration_with_constraint(self):
+        space = StateSpace([ranged("x", 0, 2), boolean("b")])
+        states = space.all_states((var(space.variable("x")) == 0))
+        assert len(states) == 2
+
+    def test_duplicate_variable_names_rejected(self):
+        with pytest.raises(ModelError):
+            StateSpace([ranged("x", 0, 1), boolean("x")])
+
+    def test_labelling_conventions(self):
+        space = StateSpace([ranged("x", 0, 1), boolean("b")])
+        state = space.state(x=1, b=True)
+        assert space.labelling(state) == frozenset({"x=1", "b"})
+        state2 = space.state(x=0, b=False)
+        assert space.labelling(state2) == frozenset({"x=0"})
+
+    def test_atom_name_convention(self):
+        assert atom_name(ranged("x", 0, 1), 1) == "x=1"
+        assert atom_name(boolean("b"), True) == "b"
+
+    def test_propositions_cover_all_atoms(self):
+        space = StateSpace([ranged("x", 0, 1), boolean("b")])
+        assert space.propositions() == {"x=0", "x=1", "b"}
+
+
+class TestExpressionProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(value=st.integers(min_value=0, max_value=3), threshold=st.integers(min_value=0, max_value=3))
+    def test_comparisons_agree_with_python(self, value, threshold):
+        x = ranged("x", 0, 3)
+        env = {"x": value}
+        assert (var(x) < threshold).evaluate(env) == (value < threshold)
+        assert (var(x) == threshold).evaluate(env) == (value == threshold)
+        assert (var(x) >= threshold).evaluate(env) == (value >= threshold)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.booleans(), min_size=1, max_size=4))
+    def test_bool_ops_agree_with_python(self, values):
+        variables = [boolean(f"b{i}") for i in range(len(values))]
+        env = {f"b{i}": values[i] for i in range(len(values))}
+        conjunction = None
+        disjunction = None
+        for variable in variables:
+            term = var(variable)
+            conjunction = term if conjunction is None else (conjunction & term)
+            disjunction = term if disjunction is None else (disjunction | term)
+        assert conjunction.evaluate(env) == all(values)
+        assert disjunction.evaluate(env) == any(values)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_to_formula_equivalence_random(self, data):
+        x = ranged("x", 0, 2)
+        b = boolean("b")
+        space = StateSpace([x, b])
+        threshold = data.draw(st.integers(min_value=0, max_value=2))
+        use_and = data.draw(st.booleans())
+        expr = (var(x) >= threshold) & var(b) if use_and else (var(x) >= threshold) | var(b)
+        labelling = {state: space.labelling(state) for state in space.states()}
+        structure = structure_from_labels(labelling, {"agent": space.propositions()})
+        assert extension(structure, expr.to_formula()) == {
+            state for state in space.states() if state.satisfies(expr)
+        }

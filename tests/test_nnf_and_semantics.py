@@ -1,0 +1,234 @@
+"""Tests for negation normal form, simplification and Kripke satisfaction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kripke import structure_from_labels
+from repro.logic import extension, holds, parse, simplify, to_nnf
+from repro.logic.formula import (
+    And,
+    CommonKnows,
+    DistributedKnows,
+    EveryoneKnows,
+    FALSE,
+    Knows,
+    Not,
+    Or,
+    Possible,
+    Prop,
+    TRUE,
+)
+from repro.logic.nnf import is_in_nnf
+from repro.util.errors import ModelError
+
+
+# ---------------------------------------------------------------------------
+# Negation normal form
+# ---------------------------------------------------------------------------
+
+
+class TestNNF:
+    def test_double_negation(self):
+        assert to_nnf(Not(Not(Prop("p")))) == Prop("p")
+
+    def test_negated_conjunction(self):
+        assert to_nnf(Not(Prop("p") & Prop("q"))) == Or((Not(Prop("p")), Not(Prop("q"))))
+
+    def test_negated_knowledge_dualises(self):
+        assert to_nnf(Not(Knows("a", Prop("p")))) == Possible("a", Not(Prop("p")))
+
+    def test_negated_possible_dualises(self):
+        assert to_nnf(Not(Possible("a", Prop("p")))) == Knows("a", Not(Prop("p")))
+
+    def test_implication_expanded(self):
+        assert to_nnf(parse("p -> q")) == Or((Not(Prop("p")), Prop("q")))
+
+    def test_negated_everyone_knows(self):
+        result = to_nnf(Not(EveryoneKnows(("a", "b"), Prop("p"))))
+        assert result == Or(
+            (Possible("a", Not(Prop("p"))), Possible("b", Not(Prop("p"))))
+        )
+
+    def test_negated_constants(self):
+        assert to_nnf(Not(TRUE)) is FALSE
+        assert to_nnf(Not(FALSE)) is TRUE
+
+    def test_result_is_in_nnf(self):
+        formula = parse("!(K[a] (p -> q) & !M[b] (q <-> r))")
+        assert is_in_nnf(to_nnf(formula))
+
+    def test_common_knowledge_negation_stays_in_place(self):
+        result = to_nnf(Not(CommonKnows(("a", "b"), Prop("p"))))
+        assert result == Not(CommonKnows(("a", "b"), Prop("p")))
+        assert is_in_nnf(result)
+
+
+class TestSimplify:
+    def test_conjunction_with_false(self):
+        assert simplify(Prop("p") & FALSE) is FALSE
+
+    def test_conjunction_with_true(self):
+        assert simplify(Prop("p") & TRUE) == Prop("p")
+
+    def test_disjunction_with_true(self):
+        assert simplify(Prop("p") | TRUE) is TRUE
+
+    def test_duplicate_operands_removed(self):
+        assert simplify(Prop("p") & Prop("p")) == Prop("p")
+
+    def test_double_negation_removed(self):
+        assert simplify(Not(Not(Prop("p")))) == Prop("p")
+
+    def test_implication_with_false_antecedent(self):
+        assert simplify(parse("false -> p")) is TRUE
+
+    def test_iff_of_identical_formulas(self):
+        assert simplify(parse("K[a] p <-> K[a] p")) is TRUE
+
+    def test_knows_true_collapses(self):
+        assert simplify(Knows("a", TRUE)) is TRUE
+
+    def test_possible_false_collapses(self):
+        assert simplify(Possible("a", FALSE)) is FALSE
+
+
+# ---------------------------------------------------------------------------
+# Satisfaction over epistemic structures
+# ---------------------------------------------------------------------------
+
+
+class TestSatisfaction:
+    def test_propositional_cases(self, two_agent_structure):
+        assert holds(two_agent_structure, "w11", parse("p & q"))
+        assert not holds(two_agent_structure, "w10", parse("p & q"))
+        assert holds(two_agent_structure, "w10", parse("p | q"))
+        assert holds(two_agent_structure, "w00", parse("!p"))
+
+    def test_unknown_world_raises(self, two_agent_structure):
+        with pytest.raises(ModelError):
+            holds(two_agent_structure, "nope", parse("p"))
+
+    def test_knowledge_follows_observability(self, two_agent_structure):
+        # Agent a observes p, so it knows p exactly where p holds.
+        assert holds(two_agent_structure, "w10", parse("K[a] p"))
+        assert holds(two_agent_structure, "w11", parse("K[a] p"))
+        assert not holds(two_agent_structure, "w00", parse("K[a] p"))
+        # Agent a does not observe q, so it never knows q.
+        assert not holds(two_agent_structure, "w01", parse("K[a] q"))
+
+    def test_possible_is_dual_of_knows(self, two_agent_structure):
+        for world in two_agent_structure.worlds:
+            assert holds(two_agent_structure, world, parse("M[a] q")) == holds(
+                two_agent_structure, world, parse("!K[a] !q")
+            )
+
+    def test_knowledge_is_truthful(self, two_agent_structure):
+        # S5 validity: K[a] p -> p.
+        assert extension(two_agent_structure, parse("K[a] p -> p")) == set(
+            two_agent_structure.worlds
+        )
+
+    def test_positive_introspection(self, two_agent_structure):
+        assert extension(two_agent_structure, parse("K[a] p -> K[a] K[a] p")) == set(
+            two_agent_structure.worlds
+        )
+
+    def test_negative_introspection(self, two_agent_structure):
+        assert extension(two_agent_structure, parse("!K[a] p -> K[a] !K[a] p")) == set(
+            two_agent_structure.worlds
+        )
+
+    def test_everyone_knows(self, two_agent_structure):
+        # In w11 agent a knows p and agent b knows q, but not vice versa.
+        assert holds(two_agent_structure, "w11", parse("E[a,b] (p | q)"))
+        assert not holds(two_agent_structure, "w11", parse("E[a,b] p"))
+
+    def test_distributed_knowledge(self, two_agent_structure):
+        # Pooling observations of a and b identifies the world completely.
+        assert holds(two_agent_structure, "w11", parse("D[a,b] (p & q)"))
+        assert not holds(two_agent_structure, "w11", parse("K[a] (p & q)"))
+
+    def test_common_knowledge_requires_closure(self, two_agent_structure):
+        # p | !p is trivially common knowledge; p is not (agent b never knows it).
+        assert holds(two_agent_structure, "w11", parse("C[a,b] (p | !p)"))
+        assert not holds(two_agent_structure, "w11", parse("C[a,b] p"))
+
+    def test_blind_agent_knows_only_valid_facts(self, blind_structure):
+        assert not holds(blind_structure, "w0", parse("K[a] x=0"))
+        assert holds(blind_structure, "w0", parse("K[a] (x=0 | x=1 | x=2)"))
+        assert holds(blind_structure, "w0", parse("M[a] x=2"))
+
+    def test_extension_of_constants(self, two_agent_structure):
+        assert extension(two_agent_structure, TRUE) == set(two_agent_structure.worlds)
+        assert extension(two_agent_structure, FALSE) == set()
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests: NNF preserves meaning, simplify preserves meaning
+# ---------------------------------------------------------------------------
+
+_AGENTS = ("a", "b")
+_PROPS = ("p", "q")
+
+
+def _formulas(depth):
+    base = st.one_of(
+        st.sampled_from([Prop("p"), Prop("q"), TRUE, FALSE]),
+    )
+    if depth == 0:
+        return base
+    sub = _formulas(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(Not, sub),
+        st.builds(lambda l, r: And((l, r)), sub, sub),
+        st.builds(lambda l, r: Or((l, r)), sub, sub),
+        st.builds(Knows, st.sampled_from(_AGENTS), sub),
+        st.builds(Possible, st.sampled_from(_AGENTS), sub),
+        st.builds(EveryoneKnows, st.just(_AGENTS), sub),
+        st.builds(DistributedKnows, st.just(_AGENTS), sub),
+    )
+
+
+@st.composite
+def random_structures(draw):
+    n_worlds = draw(st.integers(min_value=1, max_value=5))
+    worlds = [f"u{i}" for i in range(n_worlds)]
+    labelling = {
+        world: {p for p in _PROPS if draw(st.booleans())} for world in worlds
+    }
+    observables = {
+        agent: {p for p in _PROPS if draw(st.booleans())} for agent in _AGENTS
+    }
+    return structure_from_labels(labelling, observables)
+
+
+class TestSemanticProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(structure=random_structures(), formula=_formulas(3))
+    def test_nnf_preserves_extension(self, structure, formula):
+        assert extension(structure, formula) == extension(structure, to_nnf(formula))
+
+    @settings(max_examples=60, deadline=None)
+    @given(structure=random_structures(), formula=_formulas(3))
+    def test_simplify_preserves_extension(self, structure, formula):
+        assert extension(structure, formula) == extension(structure, simplify(formula))
+
+    @settings(max_examples=60, deadline=None)
+    @given(structure=random_structures(), formula=_formulas(2))
+    def test_knowledge_is_truthful_in_s5(self, structure, formula):
+        for agent in _AGENTS:
+            knows_ext = extension(structure, Knows(agent, formula))
+            assert knows_ext <= extension(structure, formula)
+
+    @settings(max_examples=60, deadline=None)
+    @given(structure=random_structures(), formula=_formulas(2))
+    def test_excluded_middle_of_knowledge(self, structure, formula):
+        # K phi -> E phi -> D phi (stronger group notions imply weaker ones
+        # in the direction E -> individual -> D).
+        everyone = extension(structure, EveryoneKnows(_AGENTS, formula))
+        distributed = extension(structure, DistributedKnows(_AGENTS, formula))
+        for agent in _AGENTS:
+            individual = extension(structure, Knows(agent, formula))
+            assert everyone <= individual
+            assert individual <= distributed

@@ -1,0 +1,143 @@
+"""Unit tests for the formula parser (:mod:`repro.logic.parser`)."""
+
+import pytest
+
+from repro.logic import parse
+from repro.logic.formula import (
+    And,
+    CommonKnows,
+    DistributedKnows,
+    EveryoneKnows,
+    FALSE,
+    Iff,
+    Implies,
+    Knows,
+    Not,
+    Or,
+    Possible,
+    Prop,
+    TRUE,
+)
+from repro.util.errors import ParseError
+
+
+class TestAtoms:
+    def test_proposition(self):
+        assert parse("p") == Prop("p")
+
+    def test_proposition_with_equals_sign(self):
+        assert parse("x=3") == Prop("x=3")
+
+    def test_proposition_with_dots_and_digits(self):
+        assert parse("rcvd.0") == Prop("rcvd.0")
+
+    def test_true_false(self):
+        assert parse("true") is TRUE
+        assert parse("false") is FALSE
+
+    def test_parenthesised_formula(self):
+        assert parse("(p)") == Prop("p")
+
+
+class TestConnectives:
+    def test_negation_symbols(self):
+        assert parse("!p") == Not(Prop("p"))
+        assert parse("~p") == Not(Prop("p"))
+        assert parse("not p") == Not(Prop("p"))
+
+    def test_conjunction(self):
+        assert parse("p & q & r") == And((Prop("p"), Prop("q"), Prop("r")))
+
+    def test_word_connectives(self):
+        assert parse("p and q") == And((Prop("p"), Prop("q")))
+        assert parse("p or q") == Or((Prop("p"), Prop("q")))
+
+    def test_disjunction_binds_weaker_than_conjunction(self):
+        assert parse("p & q | r") == Or((And((Prop("p"), Prop("q"))), Prop("r")))
+
+    def test_implication(self):
+        assert parse("p -> q") == Implies(Prop("p"), Prop("q"))
+
+    def test_implication_is_right_associative(self):
+        assert parse("p -> q -> r") == Implies(Prop("p"), Implies(Prop("q"), Prop("r")))
+
+    def test_iff(self):
+        assert parse("p <-> q") == Iff(Prop("p"), Prop("q"))
+
+    def test_precedence_of_implication_over_or(self):
+        assert parse("p | q -> r") == Implies(Or((Prop("p"), Prop("q"))), Prop("r"))
+
+
+class TestModalities:
+    def test_knows(self):
+        assert parse("K[a] p") == Knows("a", Prop("p"))
+
+    def test_possible(self):
+        assert parse("M[a] p") == Possible("a", Prop("p"))
+
+    def test_nested_modalities(self):
+        assert parse("K[a] M[b] p") == Knows("a", Possible("b", Prop("p")))
+
+    def test_negated_knowledge(self):
+        assert parse("!K[S] K[R] sbit") == Not(Knows("S", Knows("R", Prop("sbit"))))
+
+    def test_group_modalities(self):
+        assert parse("E[a,b] p") == EveryoneKnows(("a", "b"), Prop("p"))
+        assert parse("C[a,b] p") == CommonKnows(("a", "b"), Prop("p"))
+        assert parse("D[a,b] p") == DistributedKnows(("a", "b"), Prop("p"))
+
+    def test_modality_binds_tighter_than_and(self):
+        assert parse("K[a] p & q") == And((Knows("a", Prop("p")), Prop("q")))
+
+    def test_modality_over_parenthesised_formula(self):
+        assert parse("K[a] (p & q)") == Knows("a", And((Prop("p"), Prop("q"))))
+
+    def test_identifier_k_without_bracket_is_a_proposition(self):
+        assert parse("K & p") == And((Prop("K"), Prop("p")))
+
+
+class TestErrors:
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ParseError):
+            parse("(p & q")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("p q")
+
+    def test_missing_operand(self):
+        with pytest.raises(ParseError):
+            parse("p &")
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            parse("p @ q")
+
+    def test_keyword_not_allowed_as_proposition(self):
+        with pytest.raises(ParseError):
+            parse("p & and")
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("p & )")
+        assert excinfo.value.position is not None
+
+    def test_non_string_input_rejected(self):
+        with pytest.raises(TypeError):
+            parse(42)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "K[R] sbit & !K[S] K[R] sbit",
+            "C[a,b] (p -> q)",
+            "M[a] (p | !q) <-> K[b] r",
+            "D[x,y,z] (p & q & r)",
+            "!(p & q) | K[a] false",
+        ],
+    )
+    def test_parse_str_parse_is_identity(self, text):
+        formula = parse(text)
+        assert parse(str(formula)) == formula

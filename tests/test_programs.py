@@ -1,0 +1,174 @@
+"""Tests for standard and knowledge-based program syntax (:mod:`repro.programs`)."""
+
+import pytest
+
+from repro.logic import parse
+from repro.logic.formula import Knows, Prop
+from repro.modeling import ranged, var
+from repro.programs import (
+    AgentProgram,
+    Clause,
+    KnowledgeBasedProgram,
+    StandardAgentProgram,
+    StandardProgram,
+)
+from repro.systems.actions import NOOP_NAME
+from repro.util.errors import ProgramError
+
+
+class TestClause:
+    def test_formula_guard(self):
+        clause = Clause(parse("K[a] p"), "go")
+        assert clause.guard == Knows("a", Prop("p"))
+        assert clause.action == "go"
+
+    def test_expression_guard_is_compiled(self):
+        x = ranged("x", 0, 2)
+        clause = Clause(var(x) != 1, "go")
+        assert clause.guard.atoms() == {"x=0", "x=2"}
+
+    def test_invalid_guard_rejected(self):
+        with pytest.raises(ProgramError):
+            Clause(42, "go")
+
+    def test_empty_action_rejected(self):
+        with pytest.raises(ProgramError):
+            Clause(parse("p"), "")
+
+    def test_equality(self):
+        assert Clause(parse("p"), "go") == Clause(parse("p"), "go")
+        assert Clause(parse("p"), "go") != Clause(parse("q"), "go")
+
+
+class TestAgentProgram:
+    def test_actions_include_fallback(self):
+        program = AgentProgram("a", [(parse("K[a] p"), "go")])
+        assert program.actions() == ("go", NOOP_NAME)
+
+    def test_actions_deduplicated(self):
+        program = AgentProgram(
+            "a", [(parse("K[a] p"), "go"), (parse("K[a] q"), "go")], fallback="go"
+        )
+        assert program.actions() == ("go",)
+
+    def test_guards(self):
+        program = AgentProgram("a", [(parse("K[a] p"), "go"), (parse("M[a] q"), "stop")])
+        assert program.guards() == (parse("K[a] p"), parse("M[a] q"))
+
+    def test_knowledge_subformulas(self):
+        program = AgentProgram("a", [(parse("K[a] p & !K[a] M[b] q"), "go")])
+        subs = program.knowledge_subformulas()
+        assert parse("K[a] p") in subs
+        assert parse("M[b] q") in subs
+
+    def test_mentions_only_own_knowledge(self):
+        own = AgentProgram("a", [(parse("K[a] K[b] p"), "go")])
+        assert own.mentions_only_own_knowledge()
+        foreign = AgentProgram("a", [(parse("K[b] p"), "go")])
+        assert not foreign.mentions_only_own_knowledge()
+
+    def test_syntactic_locality(self):
+        program = AgentProgram("a", [(parse("mine & K[a] other"), "go")])
+        assert program.syntactically_local(local_propositions={"mine"})
+        assert not program.syntactically_local(local_propositions=set())
+
+    def test_describe_contains_clauses(self):
+        program = AgentProgram("a", [(parse("K[a] p"), "go")])
+        text = program.describe()
+        assert "K[a] p" in text and "go" in text
+
+    def test_invalid_agent_name(self):
+        with pytest.raises(ProgramError):
+            AgentProgram("", [(parse("p"), "go")])
+
+
+class TestKnowledgeBasedProgram:
+    def test_lookup_by_agent(self):
+        program = KnowledgeBasedProgram(
+            [AgentProgram("a", [(parse("K[a] p"), "go")]), AgentProgram("b", [])]
+        )
+        assert program.program("a").agent == "a"
+        assert program["b"].agent == "b"
+        assert set(program.agents) == {"a", "b"}
+
+    def test_duplicate_agent_rejected(self):
+        with pytest.raises(ProgramError):
+            KnowledgeBasedProgram([AgentProgram("a", []), AgentProgram("a", [])])
+
+    def test_unknown_agent_lookup_raises(self):
+        program = KnowledgeBasedProgram([AgentProgram("a", [])])
+        with pytest.raises(ProgramError):
+            program.program("z")
+
+    def test_guards_across_agents(self):
+        program = KnowledgeBasedProgram(
+            [
+                AgentProgram("a", [(parse("K[a] p"), "go")]),
+                AgentProgram("b", [(parse("K[b] q"), "go")]),
+            ]
+        )
+        assert set(program.guards()) == {parse("K[a] p"), parse("K[b] q")}
+
+    def test_check_against_context(self, counter_context):
+        ok = KnowledgeBasedProgram(
+            [AgentProgram("agent", [(parse("K[agent] c=0"), "inc")])]
+        )
+        assert ok.check_against_context(counter_context) is ok
+
+    def test_check_against_context_unknown_agent(self, counter_context):
+        program = KnowledgeBasedProgram([AgentProgram("ghost", [])])
+        with pytest.raises(ProgramError):
+            program.check_against_context(counter_context)
+
+    def test_check_against_context_unknown_action(self, counter_context):
+        program = KnowledgeBasedProgram(
+            [AgentProgram("agent", [(parse("K[agent] c=0"), "jump")])]
+        )
+        with pytest.raises(ProgramError):
+            program.check_against_context(counter_context)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            KnowledgeBasedProgram([])
+
+
+class TestStandardPrograms:
+    def test_expression_test_on_local_state(self):
+        x = ranged("c", 0, 3)
+        program = StandardAgentProgram("agent", [(var(x) < 2, "inc")])
+        assert program.enabled_actions((("c", 1),)) == frozenset({"inc"})
+        assert program.enabled_actions((("c", 2),)) == frozenset({NOOP_NAME})
+
+    def test_callable_test(self):
+        program = StandardAgentProgram(
+            "agent", [(lambda local: dict(local)["c"] == 0, "inc")]
+        )
+        assert program.enabled_actions((("c", 0),)) == frozenset({"inc"})
+
+    def test_true_test(self):
+        program = StandardAgentProgram("agent", [(True, "inc")])
+        assert program.enabled_actions(()) == frozenset({"inc"})
+
+    def test_invalid_test_rejected(self):
+        with pytest.raises(ProgramError):
+            StandardAgentProgram("agent", [("not callable", "inc")])
+
+    def test_no_fallback_raises_when_nothing_enabled(self):
+        program = StandardAgentProgram("agent", [(lambda local: False, "inc")], fallback=None)
+        with pytest.raises(ProgramError):
+            program.enabled_actions(())
+
+    def test_to_protocol_and_generation(self, counter_context):
+        from repro.systems import represent
+
+        x = counter_context.spec.state_space.variable("c")
+        program = StandardProgram(
+            [StandardAgentProgram("agent", [(var(x) < 3, "inc")])]
+        )
+        system = represent(counter_context, program.to_joint_protocol(counter_context))
+        assert len(system) == 4
+
+    def test_missing_agents_get_noop(self, counter_context):
+        program = StandardProgram([StandardAgentProgram("agent", [])])
+        joint = program.to_joint_protocol(counter_context)
+        assert joint.actions("agent", (("c", 0),)) == frozenset({NOOP_NAME})

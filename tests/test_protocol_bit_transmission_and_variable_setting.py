@@ -1,0 +1,157 @@
+"""End-to-end tests of the paper's running examples: the bit-transmission
+problem (E1) and the variable-setting family (E2)."""
+
+import pytest
+
+from repro.interpretation import (
+    check_implementation,
+    construct_by_rounds,
+    enumerate_implementations,
+    iterate_interpretation,
+    sufficient_conditions_report,
+)
+from repro.protocols import bit_transmission as bt
+from repro.protocols import variable_setting as vs
+from repro.temporal import CTLKModelChecker
+
+
+class TestBitTransmission:
+    @pytest.fixture(scope="class")
+    def solution(self):
+        return bt.solve("iterate")
+
+    def test_converges_quickly(self, solution):
+        assert solution.converged
+        assert solution.iterations <= 5
+
+    def test_reachable_state_space_matches_paper(self, solution):
+        labellings = sorted(
+            sorted(solution.system.context.labelling(state))
+            for state in solution.system.states
+        )
+        expected = sorted(sorted(labels) for labels in bt.expected_reachable_labels())
+        assert labellings == expected
+
+    def test_unique_implementation_by_search(self):
+        result = enumerate_implementations(bt.program(), bt.context(), max_free_states=16)
+        assert result.classification == "unique"
+        _, system = result.unique()
+        assert len(system) == 6
+
+    def test_round_construction_agrees(self, solution):
+        rounds = construct_by_rounds(bt.program(), bt.context())
+        assert rounds.verified
+        assert frozenset(rounds.system.states) == frozenset(solution.system.states)
+
+    def test_knowledge_properties(self, solution):
+        checker = CTLKModelChecker(solution.system)
+        for name, (formula, expected) in bt.property_formulas().items():
+            assert checker.valid(formula) == expected, name
+
+    def test_provides_witnesses_but_not_synchronous(self, solution):
+        report = sufficient_conditions_report(bt.program(), bt.context(), [solution.system])
+        assert report["provides_witnesses"] is True
+        assert report["depends_on_past"] is True
+        assert report["synchronous"] is False
+
+    def test_sender_stops_sending_once_it_knows(self, solution):
+        protocol = solution.protocol
+        context = solution.system.context
+        for state in solution.system.states:
+            local = context.local_state(bt.SENDER, state)
+            actions = protocol.actions(bt.SENDER, local)
+            sender_knows = solution.system.holds(state, bt.sender_knows_receiver_knows())
+            if sender_knows:
+                assert actions == frozenset({"noop"})
+            else:
+                assert actions == frozenset({"send_ok", "send_fail"})
+
+    def test_receiver_acks_exactly_when_it_knows(self, solution):
+        protocol = solution.protocol
+        context = solution.system.context
+        for state in solution.system.states:
+            local = context.local_state(bt.RECEIVER, state)
+            actions = protocol.actions(bt.RECEIVER, local)
+            receiver_knows = solution.system.holds(state, bt.receiver_knows_bit())
+            if receiver_knows:
+                assert actions == frozenset({"ack_ok", "ack_fail"})
+            else:
+                assert actions == frozenset({"noop"})
+
+    def test_check_implementation_report(self, solution):
+        report = check_implementation(solution.protocol, bt.program(), bt.context())
+        assert report
+        assert report.describe().startswith("ImplementationReport")
+
+    def test_common_knowledge_of_the_bit_is_never_attained(self, solution):
+        """The coordinated-attack moral: over unreliable channels the value of
+        the bit never becomes common knowledge between sender and receiver —
+        the knowledge hierarchy only ever climbs finitely many levels."""
+        from repro.logic.formula import CommonKnows
+
+        common = CommonKnows(("S", "R"), bt.receiver_knows_bit())
+        assert solution.system.extension(common) == frozenset()
+
+    def test_knowledge_hierarchy_is_strict(self, solution):
+        """K_R(bit), K_S K_R(bit) and K_R K_S K_R(bit) have strictly
+        decreasing extensions, mirroring the paper's discussion of what each
+        agent can ever learn."""
+        level1 = solution.system.extension(bt.receiver_knows_bit())
+        level2 = solution.system.extension(bt.sender_knows_receiver_knows())
+        level3 = solution.system.extension(bt.receiver_knows_sender_knows())
+        assert level3 < level2 < level1
+        assert level3 == frozenset()
+
+
+class TestVariableSettingFamily:
+    @pytest.fixture(scope="class")
+    def context(self):
+        return vs.context()
+
+    @pytest.mark.parametrize("name", sorted(vs.PROGRAM_FAMILY))
+    def test_classification_matches_paper(self, context, name):
+        factory, expected = vs.PROGRAM_FAMILY[name]
+        assert enumerate_implementations(factory(), context).classification == expected
+
+    @pytest.mark.parametrize("name", sorted(vs.PROGRAM_FAMILY))
+    def test_reachable_value_sets(self, context, name):
+        factory, _ = vs.PROGRAM_FAMILY[name]
+        result = enumerate_implementations(factory(), context)
+        found = sorted(
+            frozenset(state["x"] for state in system.states) for _, system in result
+        )
+        assert found == sorted(vs.expected_reachable_values(name))
+
+    def test_cyclic_iteration_cycles_with_period_two(self, context):
+        result = iterate_interpretation(vs.cyclic_program(), context)
+        assert not result.converged
+        assert result.cycle_length == 2
+
+    def test_cycle_breaking_converges_within_a_few_steps(self, context):
+        result = iterate_interpretation(vs.cycle_breaking_program(), context)
+        assert result.converged
+        assert result.iterations <= 5
+
+    def test_contradictory_program_never_converges_to_fixed_point(self, context):
+        result = iterate_interpretation(vs.contradictory_program(), context)
+        assert not result.converged
+
+    def test_self_fulfilling_iteration_depends_on_seed(self, context):
+        liberal = iterate_interpretation(vs.self_fulfilling_program(), context, seed="liberal")
+        restrictive = iterate_interpretation(
+            vs.self_fulfilling_program(), context, seed="restrictive"
+        )
+        # Both seeds converge, but to the two different implementations.
+        assert liberal.converged and restrictive.converged
+        liberal_values = {state["x"] for state in liberal.system.states}
+        restrictive_values = {state["x"] for state in restrictive.system.states}
+        assert liberal_values == {0, 1}
+        assert restrictive_values == {0}
+
+    def test_speculative_unique_implementation_found_only_by_search(self, context):
+        iteration = iterate_interpretation(vs.speculative_program(), context)
+        assert not iteration.converged
+        search = enumerate_implementations(vs.speculative_program(), context)
+        assert search.classification == "unique"
+        _, system = search.unique()
+        assert {state["x"] for state in system.states} == {0, 1}

@@ -1,0 +1,108 @@
+"""End-to-end tests of the muddy-children experiment (E3)."""
+
+import pytest
+
+from repro.analysis import knowledge_progression
+from repro.interpretation import iterate_interpretation, sufficient_conditions_report
+from repro.logic.formula import CommonKnows, Prop, disj
+from repro.protocols import muddy_children as mc
+
+
+@pytest.fixture(scope="module", params=[2, 3])
+def solution(request):
+    n = request.param
+    result = mc.solve(n)
+    assert result.converged
+    return n, result
+
+
+class TestMuddyChildren:
+    def test_synchronous_and_verified(self, solution):
+        n, result = solution
+        assert result.verified
+        assert result.system.is_synchronous()
+
+    def test_conditions_chain(self, solution):
+        n, result = solution
+        report = sufficient_conditions_report(
+            mc.program(n), result.system.context, [result.system]
+        )
+        assert report["synchronous"] is True
+        assert report["provides_witnesses"] is True
+        assert report["depends_on_past"] is True
+
+    def test_muddy_children_announce_in_round_k(self, solution):
+        n, result = solution
+        for pattern in mc.all_patterns(n):
+            k = sum(pattern)
+            rounds = mc.announcement_rounds(result.system, pattern)
+            for i, is_muddy in enumerate(pattern):
+                expected = k if is_muddy else k + 1
+                assert rounds[i] == expected, (pattern, i)
+
+    def test_muddy_children_know_in_round_k_minus_one(self, solution):
+        n, result = solution
+        for pattern in mc.all_patterns(n):
+            k = sum(pattern)
+            rounds = mc.knowledge_rounds(result.system, pattern)
+            for i, is_muddy in enumerate(pattern):
+                expected = k - 1 if is_muddy else k
+                assert rounds[i] == expected, (pattern, i)
+
+    def test_nobody_announces_early(self, solution):
+        n, result = solution
+        for pattern in mc.all_patterns(n):
+            k = sum(pattern)
+            for state in mc.run_from_pattern(result.system, pattern):
+                if state["round"] < k:
+                    assert not any(state[f"said{i}"] for i in range(n)), (pattern, state)
+
+    def test_father_announcement_is_common_knowledge(self, solution):
+        n, result = solution
+        at_least_one = disj([mc.muddy_prop(i) for i in range(n)])
+        group = tuple(mc.child(i) for i in range(n))
+        assert result.system.holds_initially(CommonKnows(group, at_least_one))
+
+    def test_iterative_interpretation_agrees_with_round_construction(self, solution):
+        n, result = solution
+        iterated = iterate_interpretation(mc.program(n), result.system.context)
+        assert iterated.converged
+        assert frozenset(iterated.system.states) == frozenset(result.system.states)
+
+    def test_knowledge_progression_is_monotone(self, solution):
+        n, result = solution
+        group = tuple(mc.child(i) for i in range(n))
+        fact = disj([mc.muddy_prop(i) for i in range(n)])
+        by_round = {}
+        for r in range(n + 1):
+            states = [s for s in result.system.states if s["round"] == r]
+            by_round[r] = (result.system, states)
+        progression = knowledge_progression(by_round, fact, group)
+        counts = [progression[r]["everyone_knows"] for r in sorted(progression)]
+        assert all(count == progression[r]["states"] for r, count in enumerate(counts))
+
+
+class TestMuddyChildrenEdgeCases:
+    def test_single_child(self):
+        result = mc.solve(1)
+        assert result.converged
+        rounds = mc.announcement_rounds(result.system, (True,))
+        assert rounds[0] == 1
+
+    def test_invalid_child_count(self):
+        with pytest.raises(ValueError):
+            mc.context(0)
+
+    def test_all_patterns_respects_muddy_count(self):
+        patterns = list(mc.all_patterns(4, muddy_count=2))
+        assert len(patterns) == 6
+        assert all(sum(p) == 2 for p in patterns)
+
+    def test_all_patterns_excludes_all_clean(self):
+        assert (False, False) not in set(mc.all_patterns(2))
+
+    def test_initial_state_for_pattern_roundtrip(self):
+        context = mc.context(2)
+        state = mc.initial_state_for_pattern(context, (True, False))
+        assert state["muddy0"] is True and state["muddy1"] is False
+        assert state["round"] == 0 and state["heard"] == 0

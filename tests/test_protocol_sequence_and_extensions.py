@@ -1,0 +1,146 @@
+"""End-to-end tests for sequence transmission / alternating bit (E4) and the
+extension workloads: unexpected examination and dining cryptographers (E9)."""
+
+import pytest
+
+from repro.logic import parse
+from repro.logic.formula import Knows, Prop
+from repro.protocols import dining_cryptographers as dc
+from repro.protocols import sequence_transmission as st
+from repro.protocols import unexpected_examination as ue
+from repro.temporal import AG, EF, CTLKModelChecker, check_valid
+
+
+class TestSequenceTransmissionKB:
+    @pytest.fixture(scope="class", params=[1, 2, 3])
+    def solution(self, request):
+        length = request.param
+        result = st.solve_kb(length)
+        assert result.converged
+        return length, result
+
+    def test_sender_sends_exactly_the_current_bit(self, solution):
+        length, result = solution
+        context = result.system.context
+        for state in result.system.states:
+            local = context.local_state(st.SENDER, state)
+            actions = result.protocol.actions(st.SENDER, local)
+            if state.sacked < length:
+                assert actions == frozenset({st.send_action(state.sacked)}), state
+            else:
+                assert actions == frozenset({"noop"}), state
+
+    def test_receiver_keeps_acknowledging(self, solution):
+        length, result = solution
+        context = result.system.context
+        for state in result.system.states:
+            if state.nrcvd == 0:
+                continue
+            local = context.local_state(st.RECEIVER, state)
+            actions = result.protocol.actions(st.RECEIVER, local)
+            assert actions == frozenset({st.ack_action(state.nrcvd)}), state
+
+    def test_sacked_never_exceeds_nrcvd(self, solution):
+        _, result = solution
+        for state in result.system.states:
+            assert state.sacked <= state.nrcvd <= len(state.seq)
+
+    def test_receiver_knows_exactly_its_prefix(self, solution):
+        length, result = solution
+        for state in result.system.states:
+            for i in range(length):
+                knows_value = result.system.holds(
+                    state, Knows(st.RECEIVER, st.r_has(i))
+                )
+                assert knows_value == (i < state.nrcvd)
+
+    def test_everything_eventually_received(self, solution):
+        length, result = solution
+        assert check_valid(result.system, EF(st.all_received_formula(length)))
+
+    def test_sender_knowledge_tracks_acknowledgements(self, solution):
+        length, result = solution
+        for state in result.system.states:
+            for i in range(length):
+                assert result.system.holds(state, st.sender_knows_received(i)) == (
+                    state.sacked > i
+                )
+
+
+class TestAlternatingBitProtocol:
+    @pytest.fixture(scope="class", params=[1, 2, 3])
+    def system(self, request):
+        return st.abp_system(request.param)
+
+    def test_safety_prefix_always_ok(self, system):
+        assert check_valid(system, AG(st.prefix_ok_formula()))
+
+    def test_transmission_can_complete(self, system):
+        assert check_valid(system, EF(Prop("all_received")))
+
+    def test_sender_advance_implies_knowledge(self, system):
+        # Whenever the sender has moved past bit 0 it knows the receiver has it.
+        checker = CTLKModelChecker(system)
+        for state in system.states:
+            if state.sptr >= 1:
+                assert checker.holds(state, st.sender_knows_received(0))
+
+    def test_no_deadlock(self, system):
+        assert system.transition_system.is_total()
+
+
+class TestUnexpectedExamination:
+    @pytest.fixture(scope="class")
+    def solution(self):
+        result = ue.solve()
+        assert result.converged
+        return result
+
+    def test_synchronous(self, solution):
+        assert solution.system.is_synchronous()
+
+    def test_surprise_exam_possible_on_all_but_last_day(self, solution):
+        for day in range(4):
+            assert ue.exam_written_on_day(solution.system, day), day
+
+    def test_no_surprise_on_last_day(self, solution):
+        assert not ue.exam_written_on_day(solution.system, 4)
+
+    def test_exam_is_always_a_surprise_when_written(self, solution):
+        assert ue.surprise_holds_when_written(solution.system)
+
+    def test_class_never_knows_exam_in_advance(self, solution):
+        # Before the exam is written the class never knows the exam is today,
+        # except on the last morning (day 4 with exam 4).
+        knows_today = solution.system.extension(ue.class_knows_exam_today())
+        for state in knows_today:
+            assert state["day"] == 4 and state["exam"] == 4 and not state["written"]
+
+
+class TestDiningCryptographers:
+    @pytest.fixture(scope="class", params=[3, 4])
+    def system(self, request):
+        return dc.system(request.param), request.param
+
+    def test_anonymity(self, system):
+        sys_, n = system
+        assert dc.anonymity_holds(sys_, n)
+
+    def test_everyone_learns_whether_a_cryptographer_paid(self, system):
+        sys_, n = system
+        assert dc.everyone_learns_whether_paid(sys_, n)
+
+    def test_payment_common_knowledge(self, system):
+        sys_, n = system
+        assert dc.someone_paid_is_common_knowledge(sys_, n)
+
+    def test_payer_always_knows_it_paid(self, system):
+        sys_, n = system
+        for i in range(n):
+            paid_states = sys_.extension(dc.paid_prop(i))
+            knows = sys_.extension(Knows(dc.crypto(i), dc.paid_prop(i)))
+            assert paid_states <= knows
+
+    def test_minimum_group_size_enforced(self):
+        with pytest.raises(ValueError):
+            dc.context(2)

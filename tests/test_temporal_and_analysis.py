@@ -1,0 +1,173 @@
+"""Tests for CTLK model checking and the analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    everyone_knows_level,
+    is_common_knowledge,
+    knowledge_census,
+    knowledge_level_reached,
+    system_statistics,
+)
+from repro.logic import parse
+from repro.logic.formula import Prop
+from repro.protocols import bit_transmission
+from repro.systems import JointProtocol, constant_protocol, represent
+from repro.temporal import AF, AG, AU, AX, EF, EG, EU, EX, CTLKModelChecker, check_reachable, check_valid
+from repro.util.errors import ModelError
+
+
+@pytest.fixture(scope="module")
+def counter_system(request):
+    from repro.modeling import StateSpace, boolean, ite, ranged, var
+    from repro.systems import variable_context
+
+    counter = ranged("c", 0, 3)
+    flag = boolean("flag")
+    space = StateSpace([counter, flag])
+    context = variable_context(
+        "counter-temporal",
+        space,
+        observables={"agent": ["c"]},
+        actions={
+            "agent": {
+                "inc": {"c": ite(var(counter) < 3, var(counter) + 1, var(counter))},
+                "set_flag": {"flag": True},
+            }
+        },
+        initial=(var(counter) == 0) & (~var(flag)),
+    )
+    protocol = JointProtocol({"agent": constant_protocol("agent", {"inc", "set_flag"})})
+    return represent(context, protocol)
+
+
+@pytest.fixture(scope="module")
+def bt_system():
+    return bit_transmission.solve("iterate").system
+
+
+class TestTemporalOperators:
+    def test_ef_reaches_saturation(self, counter_system):
+        assert check_valid(counter_system, EF(parse("c=3")))
+
+    def test_ag_invariant(self, counter_system):
+        assert check_valid(counter_system, AG(parse("c=0 | c=1 | c=2 | c=3")))
+        assert not check_valid(counter_system, AG(parse("!flag")))
+
+    def test_ex_and_ax(self, counter_system):
+        checker = CTLKModelChecker(counter_system)
+        initial = counter_system.initial_states[0]
+        assert checker.holds(initial, EX(parse("c=1")))
+        assert checker.holds(initial, EX(parse("flag")))
+        assert not checker.holds(initial, AX(parse("c=1")))
+        assert checker.holds(initial, AX(parse("c=1 | flag")))
+
+    def test_eg_on_stuttering_path(self, counter_system):
+        # The run that always chooses set_flag keeps the counter at 0 forever.
+        assert check_valid(counter_system, EG(parse("c=0")))
+
+    def test_af_eventual_saturation_fails_with_stuttering(self, counter_system):
+        # Because set_flag can be chosen forever, c=3 is not inevitable.
+        assert not check_valid(counter_system, AF(parse("c=3")))
+
+    def test_eu_and_au(self, counter_system):
+        checker = CTLKModelChecker(counter_system)
+        initial = counter_system.initial_states[0]
+        assert checker.holds(initial, EU(parse("!flag"), parse("c=2")))
+        assert checker.holds(initial, AU(parse("true"), parse("c=3 | flag")))
+        assert not checker.holds(initial, AU(parse("true"), parse("c=3")))
+
+    def test_deadlock_states_self_loop(self):
+        # A system whose only protocol action is noop deadlocks immediately in
+        # terms of progress; the checker treats it as a self-loop.
+        from repro.modeling import StateSpace, ranged, var
+        from repro.systems import variable_context
+        from repro.systems.actions import NOOP_NAME
+
+        x = ranged("x", 0, 1)
+        space = StateSpace([x])
+        context = variable_context(
+            "still",
+            space,
+            observables={"a": ["x"]},
+            actions={"a": {}},
+            initial=(var(x) == 0),
+        )
+        system = represent(context, JointProtocol({"a": constant_protocol("a", {NOOP_NAME})}))
+        assert check_valid(system, AG(parse("x=0")))
+        assert check_valid(system, EG(parse("x=0")))
+
+    def test_unknown_state_rejected(self, counter_system):
+        checker = CTLKModelChecker(counter_system)
+        with pytest.raises(ModelError):
+            checker.holds("nonsense", parse("true"))
+
+    def test_witness_state(self, counter_system):
+        checker = CTLKModelChecker(counter_system)
+        witness = checker.witness_state(parse("c=2"))
+        assert witness is not None and witness["c"] == 2
+        assert checker.witness_state(parse("false")) is None
+
+
+class TestTemporalEpistemic:
+    def test_bit_transmission_properties(self, bt_system):
+        checker = CTLKModelChecker(bt_system)
+        for name, (formula, expected) in bit_transmission.property_formulas().items():
+            assert checker.valid(formula) == expected, name
+
+    def test_knowledge_inside_temporal(self, bt_system):
+        # Once the receiver knows the bit it keeps knowing it.
+        formula = AG(bit_transmission.receiver_knows_bit() >> AG(bit_transmission.receiver_knows_bit()))
+        assert check_valid(bt_system, formula)
+
+    def test_temporal_inside_knowledge(self, counter_system):
+        # The agent knows (trivially) that the counter can keep growing or a
+        # flag can be set: a K over an EX formula.
+        from repro.logic.formula import Knows
+
+        checker = CTLKModelChecker(counter_system)
+        initial = counter_system.initial_states[0]
+        assert checker.holds(initial, Knows("agent", EX(parse("c=1 | flag"))))
+
+    def test_check_reachable(self, bt_system):
+        assert check_reachable(bt_system, parse("ack"))
+        assert not check_reachable(bt_system, parse("ack & !snt"))
+
+
+class TestAnalysis:
+    def test_everyone_knows_level_builder(self):
+        formula = everyone_knows_level(Prop("p"), ("a", "b"), 2)
+        assert str(formula) == "E[a,b] E[a,b] p"
+        with pytest.raises(ModelError):
+            everyone_knows_level(Prop("p"), ("a",), -1)
+
+    def test_knowledge_level_in_bit_transmission(self, bt_system):
+        # In the final state the receiver knows the bit and the sender knows
+        # that, but the receiver does not know that the sender knows: the
+        # group knowledge level of "receiver knows the bit" stops at 1.
+        final = next(
+            state
+            for state in bt_system.states
+            if bt_system.context.labelling(state) >= {"sbit", "rbit", "snt", "ack"}
+        )
+        fact = bit_transmission.receiver_knows_bit()
+        level = knowledge_level_reached(bt_system, final, fact, ("S", "R"))
+        assert level == 1
+        assert not is_common_knowledge(bt_system, final, fact, ("S", "R"))
+
+    def test_statistics_keys(self, bt_system):
+        stats = system_statistics(bt_system)
+        assert stats["states"] == 6
+        assert stats["synchronous"] is False
+        assert set(stats["agents"]) == {"S", "R"}
+        assert stats["agents"]["R"]["local_states"] == 3
+
+    def test_knowledge_census(self, bt_system):
+        census = knowledge_census(bt_system, propositions=["sbit"], agents=["R"])
+        entry = census["R"]["sbit"]
+        assert entry["knows_true"] + entry["knows_false"] + entry["uncertain"] == len(
+            bt_system.states
+        )
+        # The receiver knows the bit exactly in the four states after a
+        # successful transmission.
+        assert entry["knows_true"] + entry["knows_false"] == 4

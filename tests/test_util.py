@@ -1,0 +1,65 @@
+"""Tests for the shared utilities (:mod:`repro.util`)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    FormulaError,
+    InterpretationError,
+    ModelError,
+    ParseError,
+    ProgramError,
+    ReproError,
+    frozen_mapping,
+    powerset,
+    product_dicts,
+    stable_unique,
+)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for error_type in (FormulaError, ModelError, ProgramError, InterpretationError):
+            assert issubclass(error_type, ReproError)
+        assert issubclass(ParseError, FormulaError)
+
+    def test_parse_error_renders_position_pointer(self):
+        error = ParseError("bad token", text="p & )", position=4)
+        rendered = str(error)
+        assert "p & )" in rendered
+        assert rendered.splitlines()[-1].strip() == "^"
+
+    def test_parse_error_without_position(self):
+        assert str(ParseError("oops")) == "oops"
+
+
+class TestHelpers:
+    def test_frozen_mapping_is_read_only(self):
+        view = frozen_mapping({"a": 1})
+        assert view["a"] == 1
+        with pytest.raises(TypeError):
+            view["a"] = 2
+
+    def test_powerset_counts(self):
+        assert len(list(powerset([1, 2, 3]))) == 8
+        assert list(powerset([])) == [()]
+
+    def test_product_dicts(self):
+        combos = list(product_dicts({"x": [0, 1], "y": ["a"]}))
+        assert combos == [{"x": 0, "y": "a"}, {"x": 1, "y": "a"}]
+
+    def test_product_dicts_empty(self):
+        assert list(product_dicts({})) == [{}]
+
+    def test_stable_unique_preserves_order(self):
+        assert stable_unique([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    @given(st.lists(st.integers(min_value=0, max_value=9)))
+    def test_stable_unique_properties(self, items):
+        result = stable_unique(items)
+        assert len(result) == len(set(items))
+        assert set(result) == set(items)
+
+    @given(st.lists(st.integers(), max_size=8))
+    def test_powerset_size_property(self, items):
+        assert len(list(powerset(items))) == 2 ** len(items)
