@@ -9,7 +9,7 @@ from repro.protocols import muddy_children as mc
 
 
 @pytest.mark.parametrize("n", [2, 3, 4])
-def test_bench_interpretation_scaling(benchmark, table_report, n):
+def test_bench_interpretation_scaling(benchmark, table_report, engine_backend, n):
     result = benchmark.pedantic(lambda: mc.solve(n), rounds=1, iterations=1)
     assert result.converged
     rows = []
@@ -29,7 +29,7 @@ def test_bench_interpretation_scaling(benchmark, table_report, n):
 
 
 @pytest.mark.parametrize("n", [2, 3])
-def test_bench_knowledge_round_check(benchmark, n):
+def test_bench_knowledge_round_check(benchmark, engine_backend, n):
     solution = mc.solve(n)
 
     def measure():

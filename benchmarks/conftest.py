@@ -9,6 +9,23 @@ as a reproduction run.
 
 import pytest
 
+from repro.engine import use_backend
+
+
+@pytest.fixture(params=["bitset", "frozenset"])
+def engine_backend(request):
+    """Run the benchmark once per world-set backend.
+
+    The fixture switches the process-default backend for the duration of the
+    test, so every structure/evaluator the workload creates routes through
+    the parametrised backend; it also returns the backend name for workloads
+    that construct evaluators explicitly.  Benchmark ids gain a
+    ``[bitset]``/``[frozenset]`` suffix, which makes the speedup of the
+    bitset engine visible directly in CI output.
+    """
+    with use_backend(request.param):
+        yield request.param
+
 
 def report(title, rows, header=None):
     """Print a small aligned table into the captured benchmark output."""

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Run the benchmark workloads once per backend and emit a JSON perf summary.
+
+This is the driver future PRs use to track the performance trajectory
+without the pytest-benchmark machinery: each workload is timed with
+``time.perf_counter`` (best of ``--repeats`` runs) for every registered
+world-set backend, and the results are written as a single JSON document.
+
+Usage::
+
+    python benchmarks/run_all.py                  # print JSON to stdout
+    python benchmarks/run_all.py -o perf.json     # write to a file
+    python benchmarks/run_all.py --repeats 5 --backends bitset
+
+The workload sizes are the largest tier of the corresponding ``bench_e*``
+modules, kept small enough that a full run stays under a minute per backend.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from repro.engine import available_backends, use_backend  # noqa: E402
+
+
+def _workloads():
+    """Return ``[(name, setup, run)]``; ``setup`` builds shared inputs once
+    per backend, ``run`` is the timed body."""
+    from bench_e7_model_checking import grid_structure
+    from repro.engine import Evaluator, get_default_backend
+    from repro.interpretation import enumerate_implementations, iterate_interpretation
+    from repro.logic import parse
+    from repro.protocols import muddy_children as mc
+    from repro.protocols import sequence_transmission as st
+    from repro.protocols import variable_setting as vs
+    from repro.temporal import AG, EF, CTLKModelChecker
+
+    def e3_setup():
+        return None
+
+    def e3_run(_):
+        result = mc.solve(3)
+        assert result.converged
+
+    def e6_setup():
+        from bench_e6_fixed_point import chain_context, chain_program
+
+        return chain_context(32), chain_program(32)
+
+    def e6_run(inputs):
+        context, program = inputs
+        result = iterate_interpretation(program, context)
+        assert result.converged
+
+    def e7_knowledge_setup():
+        return grid_structure(10), parse("K[a] b0 & !K[a] b1 & M[b] (b1 & !b0)")
+
+    def e7_knowledge_run(inputs):
+        structure, formula = inputs
+        Evaluator(structure, get_default_backend()).extension(formula)
+
+    def e7_common_setup():
+        return grid_structure(8), parse("C[a,b] (b0 | !b0)")
+
+    def e7_ctlk_setup():
+        system = st.abp_system(3)
+        formulas = [
+            AG(st.prefix_ok_formula()),
+            EF(st.sender_knows_received(0)),
+        ]
+        return system, formulas
+
+    def e7_ctlk_run(inputs):
+        system, formulas = inputs
+        checker = CTLKModelChecker(system)
+        assert all(checker.valid(formula) for formula in formulas)
+
+    def e8_setup():
+        return vs.context()
+
+    def e8_run(context):
+        for _, (factory, expected) in sorted(vs.PROGRAM_FAMILY.items()):
+            assert enumerate_implementations(factory(), context).classification == expected
+
+    return [
+        ("e3_muddy_children_solve", e3_setup, e3_run),
+        ("e6_fixed_point_chain32", e6_setup, e6_run),
+        ("e7_knowledge_eval_1024_worlds", e7_knowledge_setup, e7_knowledge_run),
+        ("e7_common_knowledge_256_worlds", e7_common_setup, e7_knowledge_run),
+        ("e7_ctlk_abp3", e7_ctlk_setup, e7_ctlk_run),
+        ("e8_implementation_search", e8_setup, e8_run),
+    ]
+
+
+def time_workload(setup, run, repeats):
+    inputs = setup()
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run(inputs)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", type=Path, default=None, help="write JSON here")
+    parser.add_argument("--repeats", type=int, default=3, help="runs per workload (best kept)")
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=None,
+        help="backends to measure (default: all registered)",
+    )
+    args = parser.parse_args(argv)
+    backends = args.backends or available_backends()
+
+    results = []
+    for backend_name in backends:
+        with use_backend(backend_name):
+            for name, setup, run in _workloads():
+                seconds = time_workload(setup, run, args.repeats)
+                results.append(
+                    {"benchmark": name, "backend": backend_name, "seconds": seconds}
+                )
+                print(
+                    f"  {name:<34} {backend_name:<10} {seconds * 1000:10.3f} ms",
+                    file=sys.stderr,
+                )
+
+    summary = {
+        "generated": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": args.repeats,
+        "results": results,
+    }
+    payload = json.dumps(summary, indent=2)
+    if args.output is not None:
+        args.output.write_text(payload + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

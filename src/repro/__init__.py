@@ -20,7 +20,17 @@ Quickstart::
     assert system.holds_initially(logic.parse("!K[R] sbit"))
 """
 
-from repro import analysis, interpretation, kripke, logic, modeling, programs, systems, temporal
+from repro import (
+    analysis,
+    engine,
+    interpretation,
+    kripke,
+    logic,
+    modeling,
+    programs,
+    systems,
+    temporal,
+)
 from repro.logic import parse
 from repro.interpretation import (
     check_implementation,
@@ -38,6 +48,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "engine",
     "interpretation",
     "kripke",
     "logic",

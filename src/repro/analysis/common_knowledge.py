@@ -9,6 +9,7 @@ structure, which the analysis of protocols such as the muddy children and
 coordinated-attack style arguments relies on.
 """
 
+from repro.engine import evaluator_for
 from repro.logic.formula import CommonKnows, EveryoneKnows
 from repro.util.errors import ModelError
 
@@ -30,9 +31,19 @@ def knowledge_level_reached(system, state, formula, group, max_level=None):
 
     The iteration is stopped at ``max_level`` (default: number of reachable
     states, after which the extension must have stabilised).
+
+    The ``E``-levels are computed by iterating the backend's
+    ``everyone_knows`` operator on the extension of ``formula`` directly —
+    one world-set pass per level instead of re-evaluating an ever deeper
+    nested formula — when the system exposes its epistemic ``structure``
+    (both :class:`repro.systems.interpreted_system.InterpretedSystem` and
+    :class:`repro.interpretation.functional.StateSetView` do).
     """
     if max_level is None:
         max_level = len(system.states) + 1
+    structure = getattr(system, "structure", None)
+    if structure is not None:
+        return _level_reached_via_backend(structure, state, formula, group, max_level)
     if not system.holds(state, formula):
         return 0
     level = 0
@@ -44,6 +55,37 @@ def knowledge_level_reached(system, state, formula, group, max_level=None):
         level += 1
         current = next_formula
     if system.holds(state, CommonKnows(group, formula)):
+        return None
+    return level
+
+
+def _level_reached_via_backend(structure, state, formula, group, max_level):
+    """Backend implementation of :func:`knowledge_level_reached`."""
+    if state not in structure:
+        raise ModelError(f"state {state!r} does not belong to the system")
+    evaluator = evaluator_for(structure)
+    backend = evaluator.backend
+    # Reuse the formula layer's group validation (non-empty, agent names) so
+    # the fast path rejects exactly what the formula-based path rejects.
+    group = EveryoneKnows(group, formula).group
+    current = evaluator.extension_ws(formula)
+    if not backend.contains(structure, current, state):
+        return 0
+    level = 0
+    while level < max_level:
+        nxt = backend.everyone_knows(structure, group, current)
+        if not backend.contains(structure, nxt, state):
+            return level
+        level += 1
+        if nxt == current:
+            # The E-iteration has stabilised with ``state`` still inside, so
+            # every deeper level up to ``max_level`` would also succeed; skip
+            # straight to the common-knowledge check.
+            level = max_level
+            break
+        current = nxt
+    common = backend.common_knows(structure, group, evaluator.extension_ws(formula))
+    if backend.contains(structure, common, state):
         return None
     return level
 

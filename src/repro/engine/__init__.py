@@ -1,0 +1,58 @@
+"""The evaluation engine: indexed world universes and pluggable set backends.
+
+This package is the performance core of the library.  Every layer that
+manipulates sets of worlds — formula satisfaction (:mod:`repro.logic.semantics`),
+structure operations (:mod:`repro.kripke.operations`), group-knowledge
+analysis (:mod:`repro.analysis.common_knowledge`), CTLK model checking
+(:mod:`repro.temporal.ctlk`) and knowledge-based-program interpretation
+(:mod:`repro.interpretation`) — routes its world-set computation through a
+:class:`repro.engine.backend.SetBackend`:
+
+* :class:`~repro.engine.backend.BitsetBackend` (the default) represents
+  world-sets as big-int bitmasks over the dense world index every
+  :class:`repro.kripke.structure.EpistemicStructure` assigns at
+  construction time;
+* :class:`~repro.engine.backend.FrozensetBackend` preserves the original
+  explicit ``frozenset`` evaluation and serves as the semantic baseline.
+
+Select a backend per call (``extension(structure, phi, backend="frozenset")``),
+per process (:func:`set_default_backend`, or the ``REPRO_SET_BACKEND``
+environment variable), or lexically (:func:`use_backend`).  The persistent
+:class:`~repro.engine.evaluator.Evaluator` memoises subformula extensions
+for the lifetime of a structure; obtain the shared instance with
+:func:`evaluator_for`.
+"""
+
+from repro.engine.backend import (
+    BitsetBackend,
+    FrozensetBackend,
+    SetBackend,
+    available_backends,
+    backend_by_name,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.engine.evaluator import (
+    Evaluator,
+    apply_epistemic,
+    evaluator_for,
+    local_guard_value,
+)
+
+__all__ = [
+    "SetBackend",
+    "FrozensetBackend",
+    "BitsetBackend",
+    "available_backends",
+    "backend_by_name",
+    "get_default_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+    "Evaluator",
+    "apply_epistemic",
+    "evaluator_for",
+    "local_guard_value",
+]

@@ -1,0 +1,504 @@
+"""Pluggable world-set backends.
+
+Every epistemic computation in the library bottoms out in algebra over
+*world-sets* — subsets of the (finite) world universe of an
+:class:`repro.kripke.structure.EpistemicStructure`.  A :class:`SetBackend`
+fixes one concrete machine representation for those subsets together with
+the handful of primitive operations the evaluator needs:
+
+* boolean algebra (union, intersection, difference, complement);
+* the modal images ``knows``/``possible`` (universal/existential
+  quantification over per-agent accessibility);
+* the group operators ``everyone_knows``/``distributed_knows`` (union /
+  intersection of relations) and the transitive-closure based
+  ``common_knows``;
+* ``reachable`` — closure of a set of worlds under accessibility, used for
+  generated substructures.
+
+Two backends are provided:
+
+:class:`FrozensetBackend`
+    Represents a world-set as a ``frozenset`` of world identifiers and
+    mirrors the original, per-world explicit-set evaluator.  It is the
+    compatibility baseline the equivalence tests compare against.
+
+:class:`BitsetBackend`
+    Represents a world-set as a Python big integer: world ``i`` (in the
+    dense index order assigned at structure construction) corresponds to bit
+    ``1 << i``.  Per-agent accessibility becomes an array of masks, boolean
+    algebra becomes ``&``/``|``, the modal operators become per-world mask
+    tests and common knowledge becomes a backward fixed-point over masks
+    instead of a breadth-first search per world.  This is the fast default.
+
+Backends are stateless; all per-structure derived data (masks, proposition
+extensions, group relations) is memoised in ``structure.engine_cache``,
+which lives and dies with the (immutable) structure, so no invalidation is
+ever needed.
+"""
+
+import os
+from contextlib import contextmanager
+
+from repro.util.errors import EngineError
+
+# -- per-structure derived data -----------------------------------------------------
+#
+# All helpers below memoise in ``structure.engine_cache`` under keys namespaced
+# by a short tag, so the two backends and the evaluator can share one dict.
+
+
+def _group_key(group):
+    return frozenset(group)
+
+
+def accessibility_masks(structure, agent):
+    """Return agent ``agent``'s accessibility as a list of bitmasks.
+
+    Entry ``i`` is the mask of worlds accessible from ``structure.worlds[i]``.
+    """
+    cache = structure.engine_cache
+    key = ("acc_masks", agent)
+    masks = cache.get(key)
+    if masks is None:
+        index_of = structure.index_of
+        masks = []
+        for world in structure.worlds:
+            mask = 0
+            for successor in structure.accessible(agent, world):
+                mask |= 1 << index_of(successor)
+            masks.append(mask)
+        cache[key] = masks
+    return masks
+
+
+def group_masks(structure, group, mode):
+    """Return the per-world masks of a group relation (union or intersection).
+
+    The intersection over an *empty* group is the full relation (every world
+    sees every world), matching
+    :meth:`repro.kripke.structure.EpistemicStructure.group_relation`.
+    """
+    cache = structure.engine_cache
+    key = ("group_masks", _group_key(group), mode)
+    masks = cache.get(key)
+    if masks is None:
+        n = len(structure)
+        per_agent = [accessibility_masks(structure, agent) for agent in group]
+        if mode == "union":
+            masks = [0] * n
+            for agent_masks in per_agent:
+                masks = [m | a for m, a in zip(masks, agent_masks)]
+        elif mode == "intersection":
+            if not per_agent:
+                full = (1 << n) - 1
+                masks = [full] * n
+            else:
+                masks = list(per_agent[0])
+                for agent_masks in per_agent[1:]:
+                    masks = [m & a for m, a in zip(masks, agent_masks)]
+        else:
+            raise EngineError(f"unknown group relation mode {mode!r}")
+        cache[key] = masks
+    return masks
+
+
+def proposition_masks(structure):
+    """Return the mapping ``proposition name -> bitmask of worlds``."""
+    cache = structure.engine_cache
+    masks = cache.get("prop_masks")
+    if masks is None:
+        masks = {}
+        for index, world in enumerate(structure.worlds):
+            bit = 1 << index
+            for name in structure.labels(world):
+                masks[name] = masks.get(name, 0) | bit
+        cache["prop_masks"] = masks
+    return masks
+
+
+def _bits(mask):
+    """Yield the indices of the set bits of ``mask`` (ascending)."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def _box_mask(masks, forbidden):
+    """Universal modal image: the worlds whose successor mask avoids
+    ``forbidden`` entirely (``[R] phi`` with ``forbidden = ~extension``)."""
+    result = 0
+    bit = 1
+    for mask in masks:
+        if not (mask & forbidden):
+            result |= bit
+        bit <<= 1
+    return result
+
+
+def _diamond_mask(masks, inner):
+    """Existential modal image: the worlds with some successor in ``inner``."""
+    result = 0
+    bit = 1
+    for mask in masks:
+        if mask & inner:
+            result |= bit
+        bit <<= 1
+    return result
+
+
+class SetBackend:
+    """Protocol of a world-set backend.
+
+    A backend turns subsets of a structure's worlds into an opaque
+    *world-set* value (``ws`` below) and implements the primitive operations
+    the :class:`repro.engine.evaluator.Evaluator` composes.  Implementations
+    must be stateless: any derived per-structure data belongs in
+    ``structure.engine_cache``.
+    """
+
+    name = "abstract"
+
+    # -- conversions ---------------------------------------------------------------
+
+    def from_worlds(self, structure, worlds):
+        raise NotImplementedError
+
+    def to_frozenset(self, structure, ws):
+        raise NotImplementedError
+
+    def universe(self, structure):
+        raise NotImplementedError
+
+    def empty(self, structure):
+        raise NotImplementedError
+
+    # -- boolean algebra ------------------------------------------------------------
+
+    def union(self, a, b):
+        raise NotImplementedError
+
+    def intersection(self, a, b):
+        raise NotImplementedError
+
+    def difference(self, a, b):
+        raise NotImplementedError
+
+    def complement(self, structure, ws):
+        raise NotImplementedError
+
+    # -- queries --------------------------------------------------------------------
+
+    def contains(self, structure, ws, world):
+        raise NotImplementedError
+
+    def is_empty(self, ws):
+        raise NotImplementedError
+
+    def size(self, ws):
+        raise NotImplementedError
+
+    # -- epistemic operators ----------------------------------------------------------
+
+    def prop_extension(self, structure, name):
+        raise NotImplementedError
+
+    def knows(self, structure, agent, inner):
+        """Worlds whose full ``agent``-accessibility lies inside ``inner``."""
+        raise NotImplementedError
+
+    def possible(self, structure, agent, inner):
+        """Worlds with some ``agent``-accessible world inside ``inner``."""
+        raise NotImplementedError
+
+    def everyone_knows(self, structure, group, inner):
+        raise NotImplementedError
+
+    def common_knows(self, structure, group, inner):
+        raise NotImplementedError
+
+    def distributed_knows(self, structure, group, inner):
+        raise NotImplementedError
+
+    # -- reachability ------------------------------------------------------------------
+
+    def reachable(self, structure, start_worlds, agents=None):
+        """Closure of ``start_worlds`` under the union of the given agents'
+        relations (all agents by default), including the start worlds."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+class FrozensetBackend(SetBackend):
+    """World-sets as ``frozenset`` objects — the reference implementation.
+
+    This backend reproduces the original explicit-set evaluator exactly and
+    serves as the semantic baseline for
+    ``tests/test_engine_backends.py``.
+    """
+
+    name = "frozenset"
+
+    def from_worlds(self, structure, worlds):
+        return frozenset(worlds)
+
+    def to_frozenset(self, structure, ws):
+        return ws
+
+    def universe(self, structure):
+        cache = structure.engine_cache
+        result = cache.get("fs_universe")
+        if result is None:
+            result = frozenset(structure.worlds)
+            cache["fs_universe"] = result
+        return result
+
+    def empty(self, structure):
+        return frozenset()
+
+    def union(self, a, b):
+        return a | b
+
+    def intersection(self, a, b):
+        return a & b
+
+    def difference(self, a, b):
+        return a - b
+
+    def complement(self, structure, ws):
+        return self.universe(structure) - ws
+
+    def contains(self, structure, ws, world):
+        return world in ws
+
+    def is_empty(self, ws):
+        return not ws
+
+    def size(self, ws):
+        return len(ws)
+
+    def prop_extension(self, structure, name):
+        return frozenset(
+            world for world in structure.worlds if structure.label_holds(world, name)
+        )
+
+    def knows(self, structure, agent, inner):
+        return frozenset(
+            world
+            for world in structure.worlds
+            if structure.accessible(agent, world) <= inner
+        )
+
+    def possible(self, structure, agent, inner):
+        return frozenset(
+            world
+            for world in structure.worlds
+            if structure.accessible(agent, world) & inner
+        )
+
+    def everyone_knows(self, structure, group, inner):
+        return frozenset(
+            world
+            for world in structure.worlds
+            if all(structure.accessible(agent, world) <= inner for agent in group)
+        )
+
+    def common_knows(self, structure, group, inner):
+        adjacency = structure.group_relation(group, mode="union")
+        result = []
+        for world in structure.worlds:
+            reachable = structure.reachable_via(
+                adjacency, adjacency.get(world, frozenset())
+            )
+            if reachable <= inner:
+                result.append(world)
+        return frozenset(result)
+
+    def distributed_knows(self, structure, group, inner):
+        adjacency = structure.group_relation(group, mode="intersection")
+        return frozenset(
+            world
+            for world in structure.worlds
+            if adjacency.get(world, frozenset()) <= inner
+        )
+
+    def reachable(self, structure, start_worlds, agents=None):
+        if agents is None:
+            agents = structure.agents
+        frontier = list(start_worlds)
+        seen = set(frontier)
+        while frontier:
+            world = frontier.pop()
+            for agent in agents:
+                for successor in structure.accessible(agent, world):
+                    if successor not in seen:
+                        seen.add(successor)
+                        frontier.append(successor)
+        return frozenset(seen)
+
+
+class BitsetBackend(SetBackend):
+    """World-sets as Python big-int bitmasks over the dense world index.
+
+    Bit ``i`` stands for ``structure.worlds[i]``.  Set algebra is machine-word
+    arithmetic, the modal operators are per-world mask tests against the
+    memoised accessibility-mask arrays, and common knowledge is a backward
+    least fixed point (``worlds from which a ~phi world is reachable``)
+    computed for *all* worlds at once instead of one BFS per world.
+    """
+
+    name = "bitset"
+
+    def from_worlds(self, structure, worlds):
+        index_of = structure.index_of
+        mask = 0
+        for world in worlds:
+            mask |= 1 << index_of(world)
+        return mask
+
+    def to_frozenset(self, structure, ws):
+        world_at = structure.worlds
+        return frozenset(world_at[i] for i in _bits(ws))
+
+    def universe(self, structure):
+        return (1 << len(structure)) - 1
+
+    def empty(self, structure):
+        return 0
+
+    def union(self, a, b):
+        return a | b
+
+    def intersection(self, a, b):
+        return a & b
+
+    def difference(self, a, b):
+        return a & ~b
+
+    def complement(self, structure, ws):
+        return self.universe(structure) & ~ws
+
+    def contains(self, structure, ws, world):
+        return bool((ws >> structure.index_of(world)) & 1)
+
+    def is_empty(self, ws):
+        return ws == 0
+
+    def size(self, ws):
+        return ws.bit_count()
+
+    def prop_extension(self, structure, name):
+        return proposition_masks(structure).get(name, 0)
+
+    def knows(self, structure, agent, inner):
+        masks = accessibility_masks(structure, agent)
+        return _box_mask(masks, self.universe(structure) & ~inner)
+
+    def possible(self, structure, agent, inner):
+        return _diamond_mask(accessibility_masks(structure, agent), inner)
+
+    def everyone_knows(self, structure, group, inner):
+        # E[G] phi holds at w iff the union of the group's accessibilities
+        # from w lies inside the extension of phi.
+        masks = group_masks(structure, group, "union")
+        return _box_mask(masks, self.universe(structure) & ~inner)
+
+    def common_knows(self, structure, group, inner):
+        masks = group_masks(structure, group, "union")
+        bad = self.universe(structure) & ~inner
+        # Least fixed point: worlds from which some ~phi world is reachable
+        # in >= 0 steps of the union relation.
+        tainted = bad
+        while True:
+            added = _diamond_mask(masks, tainted) & ~tainted
+            if not added:
+                break
+            tainted |= added
+        # C[G] phi fails exactly at the worlds with a successor in `tainted`
+        # (a path of length >= 1 to a ~phi world).
+        return _box_mask(masks, tainted)
+
+    def distributed_knows(self, structure, group, inner):
+        masks = group_masks(structure, group, "intersection")
+        return _box_mask(masks, self.universe(structure) & ~inner)
+
+    def reachable(self, structure, start_worlds, agents=None):
+        if agents is None:
+            agents = structure.agents
+        masks = group_masks(structure, tuple(agents), "union")
+        seen = self.from_worlds(structure, start_worlds)
+        frontier = seen
+        while frontier:
+            successors = 0
+            for i in _bits(frontier):
+                successors |= masks[i]
+            frontier = successors & ~seen
+            seen |= frontier
+        return seen
+
+
+# -- backend registry and default selection ------------------------------------------
+
+_BACKENDS = {
+    FrozensetBackend.name: FrozensetBackend(),
+    BitsetBackend.name: BitsetBackend(),
+}
+
+
+def available_backends():
+    """Return the names of the registered backends."""
+    return sorted(_BACKENDS)
+
+
+def backend_by_name(name):
+    """Return the registered backend called ``name``."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown set backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def resolve_backend(backend):
+    """Coerce ``None`` (the default), a name or a backend instance into a
+    backend instance."""
+    if backend is None:
+        return _default_backend
+    if isinstance(backend, str):
+        return backend_by_name(backend)
+    if isinstance(backend, SetBackend):
+        return backend
+    raise EngineError(f"cannot interpret {backend!r} as a set backend")
+
+
+def get_default_backend():
+    """Return the process-wide default backend (bitset unless overridden)."""
+    return _default_backend
+
+
+def set_default_backend(backend):
+    """Set the process-wide default backend; returns the previous default.
+
+    ``backend`` may be a name (``"bitset"``, ``"frozenset"``) or a
+    :class:`SetBackend` instance.
+    """
+    global _default_backend
+    previous = _default_backend
+    _default_backend = resolve_backend(backend)
+    return previous
+
+
+@contextmanager
+def use_backend(backend):
+    """Context manager that temporarily switches the default backend."""
+    previous = set_default_backend(backend)
+    try:
+        yield get_default_backend()
+    finally:
+        set_default_backend(previous)
+
+
+_default_backend = backend_by_name(os.environ.get("REPRO_SET_BACKEND", BitsetBackend.name))

@@ -1,0 +1,197 @@
+"""A persistent, backend-parametric evaluator for epistemic formulas.
+
+The original ``repro.logic.semantics.extension`` rebuilt its subformula
+cache on every call; the :class:`Evaluator` keeps that cache alive for the
+lifetime of the (immutable) structure, so repeated ``holds``/``extension``
+queries — the inner loop of knowledge-based-program interpretation, where
+the same guard is evaluated at every local state of every agent — pay for
+each distinct subformula exactly once.
+
+Because :class:`repro.kripke.structure.EpistemicStructure` is immutable,
+the cache never needs invalidation; :func:`evaluator_for` memoises one
+evaluator per (structure, backend) pair in ``structure.engine_cache``.
+"""
+
+from repro.logic.formula import (
+    And,
+    CommonKnows,
+    DistributedKnows,
+    EveryoneKnows,
+    FalseFormula,
+    Iff,
+    Implies,
+    Knows,
+    Not,
+    Or,
+    Possible,
+    Prop,
+    TrueFormula,
+)
+from repro.engine.backend import resolve_backend
+from repro.util.errors import FormulaError, ModelError
+
+
+class Evaluator:
+    """Evaluates formulas over one structure through one set backend.
+
+    Parameters
+    ----------
+    structure:
+        The :class:`repro.kripke.structure.EpistemicStructure` to evaluate
+        over.
+    backend:
+        A :class:`repro.engine.backend.SetBackend`, a backend name, or
+        ``None`` for the process default.
+
+    The evaluator memoises the extension of every subformula it ever sees
+    (in backend representation) in ``self.cache``; the cache is exposed so
+    callers can inspect or :meth:`clear_cache` it explicitly.
+    """
+
+    __slots__ = ("structure", "backend", "cache", "_frozen")
+
+    def __init__(self, structure, backend=None):
+        self.structure = structure
+        self.backend = resolve_backend(backend)
+        self.cache = {}
+        self._frozen = {}
+
+    # -- public API --------------------------------------------------------------
+
+    def holds(self, world, formula):
+        """Return ``True`` iff ``structure, world |= formula``."""
+        if world not in self.structure:
+            raise ModelError(f"world {world!r} does not belong to the structure")
+        return self.backend.contains(self.structure, self.extension_ws(formula), world)
+
+    def extension(self, formula):
+        """Return the extension of ``formula`` as a frozenset of worlds."""
+        result = self._frozen.get(formula)
+        if result is None:
+            result = self.backend.to_frozenset(self.structure, self.extension_ws(formula))
+            self._frozen[formula] = result
+        return result
+
+    def extension_ws(self, formula):
+        """Return the extension in the backend's world-set representation."""
+        cached = self.cache.get(formula)
+        if cached is None and formula not in self.cache:
+            cached = self._compute(formula)
+            self.cache[formula] = cached
+        return cached
+
+    def clear_cache(self):
+        """Drop all memoised extensions (never required for correctness)."""
+        self.cache.clear()
+        self._frozen.clear()
+
+    # -- evaluation --------------------------------------------------------------
+
+    def _compute(self, formula):
+        structure = self.structure
+        backend = self.backend
+        if isinstance(formula, TrueFormula):
+            return backend.universe(structure)
+        if isinstance(formula, FalseFormula):
+            return backend.empty(structure)
+        if isinstance(formula, Prop):
+            return backend.prop_extension(structure, formula.name)
+        if isinstance(formula, Not):
+            return backend.complement(structure, self.extension_ws(formula.operand))
+        if isinstance(formula, And):
+            result = backend.universe(structure)
+            for operand in formula.operands:
+                result = backend.intersection(result, self.extension_ws(operand))
+            return result
+        if isinstance(formula, Or):
+            result = backend.empty(structure)
+            for operand in formula.operands:
+                result = backend.union(result, self.extension_ws(operand))
+            return result
+        if isinstance(formula, Implies):
+            antecedent = self.extension_ws(formula.antecedent)
+            consequent = self.extension_ws(formula.consequent)
+            return backend.union(backend.complement(structure, antecedent), consequent)
+        if isinstance(formula, Iff):
+            left = self.extension_ws(formula.left)
+            right = self.extension_ws(formula.right)
+            return backend.union(
+                backend.intersection(left, right),
+                backend.intersection(
+                    backend.complement(structure, left),
+                    backend.complement(structure, right),
+                ),
+            )
+        if isinstance(
+            formula, (Knows, Possible, EveryoneKnows, CommonKnows, DistributedKnows)
+        ):
+            return apply_epistemic(
+                backend, structure, formula, self.extension_ws(formula.operand)
+            )
+        raise FormulaError(f"cannot evaluate unknown formula node {formula!r}")
+
+    def __repr__(self):
+        return (
+            f"Evaluator({self.structure!r}, backend={self.backend.name!r}, "
+            f"|cache|={len(self.cache)})"
+        )
+
+
+def apply_epistemic(backend, structure, formula, inner):
+    """Apply one epistemic operator to a precomputed operand world-set.
+
+    This is the single operator-to-backend dispatch, shared by
+    :meth:`Evaluator._compute` and the CTLK model checker (whose operands
+    may be temporal and are therefore evaluated elsewhere).  ``inner`` must
+    be in ``backend``'s world-set representation.
+    """
+    if isinstance(formula, Knows):
+        return backend.knows(structure, formula.agent, inner)
+    if isinstance(formula, Possible):
+        return backend.possible(structure, formula.agent, inner)
+    if isinstance(formula, EveryoneKnows):
+        return backend.everyone_knows(structure, formula.group, inner)
+    if isinstance(formula, CommonKnows):
+        return backend.common_knows(structure, formula.group, inner)
+    if isinstance(formula, DistributedKnows):
+        return backend.distributed_knows(structure, formula.group, inner)
+    raise FormulaError(f"not an epistemic operator: {formula!r}")
+
+
+def evaluator_for(structure, backend=None):
+    """Return the memoised evaluator of ``structure`` for ``backend``.
+
+    One evaluator is kept per (structure, backend name) pair in
+    ``structure.engine_cache``; with ``backend=None`` the *current* process
+    default is used, so switching the default (see
+    :func:`repro.engine.backend.use_backend`) transparently selects a
+    different, independently cached evaluator.
+    """
+    backend = resolve_backend(backend)
+    cache = structure.engine_cache
+    key = ("evaluator", backend.name)
+    evaluator = cache.get(key)
+    if evaluator is None:
+        evaluator = Evaluator(structure, backend)
+        cache[key] = evaluator
+    return evaluator
+
+
+def local_guard_value(evaluator, witness_worlds, guard):
+    """Evaluate a *local* guard over a class of indistinguishable worlds.
+
+    Returns ``True``/``False`` when the guard takes that uniform value on
+    every world of ``witness_worlds``, and ``None`` when it differs between
+    them (i.e. the guard is not local to the observing agent).  This is the
+    backend fast path for knowledge-based-program guard evaluation: one
+    intersection instead of a per-world membership scan.
+    """
+    structure = evaluator.structure
+    backend = evaluator.backend
+    witnesses = backend.from_worlds(structure, witness_worlds)
+    inside = backend.intersection(witnesses, evaluator.extension_ws(guard))
+    if backend.is_empty(inside):
+        return False
+    if inside == witnesses:
+        return True
+    return None

@@ -114,7 +114,8 @@ def enumerate_implementations(
     """
     states = _full_state_space(context, all_states)
     initial = list(dict.fromkeys(context.initial_states))
-    free = [state for state in states if state not in set(initial)]
+    initial_set = frozenset(initial)
+    free = [state for state in states if state not in initial_set]
     if len(free) > max_free_states:
         raise InterpretationError(
             f"search space too large: {len(free)} non-initial states "
@@ -127,7 +128,7 @@ def enumerate_implementations(
     for size in range(len(free) + 1):
         for extra in combinations(free, size):
             candidates_checked += 1
-            candidate = frozenset(initial) | frozenset(extra)
+            candidate = initial_set | frozenset(extra)
             view = StateSetView(context, sorted(candidate, key=repr))
             try:
                 protocol = derive_protocol(program, view, require_local=require_local)

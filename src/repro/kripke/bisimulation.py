@@ -17,41 +17,50 @@ def bisimulation_classes(structure):
 
     The algorithm is plain partition refinement: start from the partition by
     labelling, then repeatedly split blocks whose members can reach different
-    sets of blocks through some agent's accessibility relation.
+    sets of blocks through some agent's accessibility relation.  The
+    refinement runs entirely over the structure's dense world indices —
+    successor lists are resolved to integer indices once up front, so each
+    refinement round is integer array manipulation rather than repeated
+    hashing of world identifiers.
     """
+    worlds = structure.worlds
+    count = len(worlds)
+    index_of = structure.index_of
+    successor_indices = [
+        [
+            tuple(index_of(successor) for successor in structure.accessible(agent, world))
+            for world in worlds
+        ]
+        for agent in structure.agents
+    ]
+
     # Initial partition: by propositional labelling.
-    block_of = {}
-    blocks = defaultdict(list)
-    for world in structure.worlds:
-        blocks[structure.labels(world)].append(world)
-    for index, members in enumerate(blocks.values()):
-        for world in members:
-            block_of[world] = index
+    block_ids = {}
+    block_of = [
+        block_ids.setdefault(structure.labels(world), len(block_ids)) for world in worlds
+    ]
 
     changed = True
     while changed:
-        changed = False
-        signature_groups = defaultdict(list)
-        for world in structure.worlds:
+        signature_ids = {}
+        new_block_of = [0] * count
+        for world_index in range(count):
             signature = (
-                block_of[world],
+                block_of[world_index],
                 tuple(
-                    frozenset(block_of[v] for v in structure.accessible(agent, world))
-                    for agent in structure.agents
+                    frozenset(block_of[successor] for successor in agent_successors[world_index])
+                    for agent_successors in successor_indices
                 ),
             )
-            signature_groups[signature].append(world)
-        new_block_of = {}
-        for index, members in enumerate(signature_groups.values()):
-            for world in members:
-                new_block_of[world] = index
-        if len(set(new_block_of.values())) != len(set(block_of.values())):
-            changed = True
+            new_block_of[world_index] = signature_ids.setdefault(
+                signature, len(signature_ids)
+            )
+        changed = len(signature_ids) != len(set(block_of))
         block_of = new_block_of
 
     classes = defaultdict(list)
-    for world, index in block_of.items():
-        classes[index].append(world)
+    for world_index, block in enumerate(block_of):
+        classes[block].append(worlds[world_index])
     return [frozenset(members) for members in classes.values()]
 
 

@@ -31,7 +31,15 @@ class EpistemicStructure:
     The structure is immutable after construction.
     """
 
-    __slots__ = ("_worlds", "_agents", "_accessibility", "_labelling", "_propositions")
+    __slots__ = (
+        "_worlds",
+        "_agents",
+        "_accessibility",
+        "_labelling",
+        "_propositions",
+        "_world_index",
+        "_engine_cache",
+    )
 
     def __init__(self, worlds, accessibility, labelling, agents=None):
         world_list = list(worlds)
@@ -73,6 +81,15 @@ class EpistemicStructure:
         self._accessibility = adjacency
         self._labelling = label_map
         self._propositions = frozenset().union(*label_map.values()) if label_map else frozenset()
+        # Dense world indexing: position in construction order.  The index is
+        # the contract between the structure and the bit-level evaluation
+        # backends of :mod:`repro.engine` (bit ``i`` of a world-set mask
+        # stands for ``self._worlds[i]``).
+        self._world_index = {world: index for index, world in enumerate(self._worlds)}
+        # Memoisation area for engine-derived data (accessibility masks,
+        # proposition masks, evaluators).  The structure is immutable, so
+        # entries never need invalidation.
+        self._engine_cache = {}
 
     # -- basic accessors -------------------------------------------------------
 
@@ -90,6 +107,40 @@ class EpistemicStructure:
     def propositions(self):
         """All proposition names used in the labelling."""
         return self._propositions
+
+    @property
+    def world_index(self):
+        """The mapping ``world -> dense index`` (construction order).
+
+        Treat the returned mapping as read-only; it is shared with the
+        evaluation engine.
+        """
+        return self._world_index
+
+    @property
+    def engine_cache(self):
+        """Per-structure memoisation area of :mod:`repro.engine`.
+
+        Holds derived evaluation data (accessibility bitmask arrays,
+        proposition masks, persistent evaluators) keyed by the engine; safe
+        to clear at any time, never invalidated because the structure is
+        immutable.
+        """
+        return self._engine_cache
+
+    def index_of(self, world):
+        """Return the dense index of ``world`` (its bit position in engine
+        bitmasks)."""
+        try:
+            return self._world_index[world]
+        except KeyError:
+            raise ModelError(f"unknown world {world!r}") from None
+
+    def world_at(self, index):
+        """Return the world with dense index ``index``."""
+        if not 0 <= index < len(self._worlds):
+            raise ModelError(f"world index {index!r} out of range")
+        return self._worlds[index]
 
     def __len__(self):
         return len(self._worlds)
@@ -210,18 +261,26 @@ class EpistemicStructure:
 
         ``mode`` is ``"union"`` (used for everyone-knows / common knowledge)
         or ``"intersection"`` (used for distributed knowledge).
+
+        The empty group is well defined in both modes: the union over no
+        agents is the empty relation (so ``E[{}] phi`` is vacuously true),
+        and the intersection over no agents is the *full* relation — every
+        world sees every world — so ``D[{}] phi`` holds exactly when ``phi``
+        holds everywhere (distributed knowledge of nobody is the weakest
+        group knowledge).
         """
         group = tuple(group)
         for agent in group:
             if not self.has_agent(agent):
                 raise ModelError(f"unknown agent {agent!r}")
+        all_worlds = frozenset(self._worlds)
         result = {}
         for world in self._worlds:
             per_agent = [self.accessible(agent, world) for agent in group]
             if mode == "union":
                 combined = frozenset().union(*per_agent) if per_agent else frozenset()
             elif mode == "intersection":
-                combined = per_agent[0]
+                combined = per_agent[0] if per_agent else all_worlds
                 for succ in per_agent[1:]:
                     combined = combined & succ
             else:

@@ -14,102 +14,44 @@ The semantics is the classical one recalled in the paper:
   intersection of the ``G`` relations.
 
 Evaluation is bottom-up over subformulas, computing the *extension* (set of
-worlds satisfying each subformula) once; this keeps the cost linear in
-``|formula| * |worlds| * |relation|`` and makes the evaluator usable as the
-inner loop of knowledge-based-program interpretation.
+worlds satisfying each subformula) once.  The actual set computation is
+delegated to the pluggable backends of :mod:`repro.engine` (big-int bitmasks
+by default, explicit frozensets on request), and the per-structure
+:class:`repro.engine.evaluator.Evaluator` keeps subformula extensions cached
+across calls — repeated ``holds``/``extension`` queries against the same
+structure, the inner loop of knowledge-based-program interpretation, pay for
+each distinct subformula exactly once.
 """
 
-from repro.logic.formula import (
-    Prop,
-    TrueFormula,
-    FalseFormula,
-    Not,
-    And,
-    Or,
-    Implies,
-    Iff,
-    Knows,
-    Possible,
-    EveryoneKnows,
-    CommonKnows,
-    DistributedKnows,
-)
-from repro.util.errors import FormulaError, ModelError
+def _evaluator_for(structure, backend=None):
+    # Imported lazily: repro.engine itself imports repro.logic.formula, so a
+    # module-level import here would close an import cycle whenever the
+    # engine package is the first one loaded.
+    from repro.engine.evaluator import evaluator_for
+
+    return evaluator_for(structure, backend)
 
 
 def holds(structure, world, formula):
-    """Return ``True`` iff ``structure, world |= formula``."""
-    if world not in structure:
-        raise ModelError(f"world {world!r} does not belong to the structure")
-    return world in extension(structure, formula)
+    """Return ``True`` iff ``structure, world |= formula``.
+
+    Raises :class:`repro.util.errors.ModelError` when ``world`` does not
+    belong to the structure (validated by the evaluator).
+    """
+    return _evaluator_for(structure).holds(world, formula)
 
 
-def extension(structure, formula):
-    """Return the set of worlds of ``structure`` satisfying ``formula``."""
-    cache = {}
-    return _extension(structure, formula, cache)
+def extension(structure, formula, backend=None):
+    """Return the set of worlds of ``structure`` satisfying ``formula``.
+
+    ``backend`` selects the world-set backend (a name or a
+    :class:`repro.engine.backend.SetBackend`); ``None`` uses the process
+    default.  The result is a fresh mutable set — callers may modify it
+    freely without affecting the evaluator's persistent cache.
+    """
+    return set(_evaluator_for(structure, backend).extension(formula))
 
 
 def knowledge_depth(formula):
     """Alias for :meth:`Formula.modal_depth`, kept for API symmetry."""
     return formula.modal_depth()
-
-
-def _extension(structure, formula, cache):
-    if formula in cache:
-        return cache[formula]
-    worlds = set(structure.worlds)
-
-    if isinstance(formula, TrueFormula):
-        result = worlds
-    elif isinstance(formula, FalseFormula):
-        result = set()
-    elif isinstance(formula, Prop):
-        result = {w for w in worlds if structure.label_holds(w, formula.name)}
-    elif isinstance(formula, Not):
-        result = worlds - _extension(structure, formula.operand, cache)
-    elif isinstance(formula, And):
-        result = set(worlds)
-        for operand in formula.operands:
-            result &= _extension(structure, operand, cache)
-    elif isinstance(formula, Or):
-        result = set()
-        for operand in formula.operands:
-            result |= _extension(structure, operand, cache)
-    elif isinstance(formula, Implies):
-        antecedent = _extension(structure, formula.antecedent, cache)
-        consequent = _extension(structure, formula.consequent, cache)
-        result = (worlds - antecedent) | consequent
-    elif isinstance(formula, Iff):
-        left = _extension(structure, formula.left, cache)
-        right = _extension(structure, formula.right, cache)
-        result = (left & right) | ((worlds - left) & (worlds - right))
-    elif isinstance(formula, Knows):
-        inner = _extension(structure, formula.operand, cache)
-        result = {w for w in worlds if structure.accessible(formula.agent, w) <= inner}
-    elif isinstance(formula, Possible):
-        inner = _extension(structure, formula.operand, cache)
-        result = {w for w in worlds if structure.accessible(formula.agent, w) & inner}
-    elif isinstance(formula, EveryoneKnows):
-        inner = _extension(structure, formula.operand, cache)
-        result = set()
-        for w in worlds:
-            if all(structure.accessible(agent, w) <= inner for agent in formula.group):
-                result.add(w)
-    elif isinstance(formula, CommonKnows):
-        inner = _extension(structure, formula.operand, cache)
-        adjacency = structure.group_relation(formula.group, mode="union")
-        result = set()
-        for w in worlds:
-            reachable = structure.reachable_via(adjacency, adjacency.get(w, frozenset()))
-            if reachable <= inner:
-                result.add(w)
-    elif isinstance(formula, DistributedKnows):
-        inner = _extension(structure, formula.operand, cache)
-        adjacency = structure.group_relation(formula.group, mode="intersection")
-        result = {w for w in worlds if adjacency.get(w, frozenset()) <= inner}
-    else:
-        raise FormulaError(f"cannot evaluate unknown formula node {formula!r}")
-
-    cache[formula] = result
-    return result

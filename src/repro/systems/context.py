@@ -178,11 +178,49 @@ class Context:
         states."""
         return {self.local_state(agent, state) for state in states}
 
+    def states_by_local_state(self, agent, states):
+        """Group ``states`` by ``agent``-local state.
+
+        Returns ``{local state: frozenset of global states}`` — the
+        indistinguishability classes of ``agent`` over the given states.
+        """
+        grouped = {}
+        for state in states:
+            grouped.setdefault(self.local_state(agent, state), []).append(state)
+        return {local: frozenset(members) for local, members in grouped.items()}
+
     def __repr__(self):
         return (
             f"Context({self.name!r}, agents={list(self._agents)}, "
             f"|G0|={len(self._initial_states)})"
         )
+
+
+class LocalStateIndexMixin:
+    """Memoised grouping of a knowledge view's states by agent-local state.
+
+    Shared by every object that pairs a ``context`` with a fixed collection
+    of ``states`` (interpreted systems, state-set views): ``_locals_of``
+    lazily builds the per-agent indistinguishability index, and
+    ``states_with_local_state`` answers the induced lookups — the states an
+    agent considers possible at one of its local states.
+    """
+
+    def _locals_of(self, agent):
+        try:
+            index_map = self._local_index
+        except AttributeError:
+            index_map = self._local_index = {}
+        index = index_map.get(agent)
+        if index is None:
+            index = self.context.states_by_local_state(agent, self.states)
+            index_map[agent] = index
+        return index
+
+    def states_with_local_state(self, agent, local_state):
+        """Return the view's states whose ``agent``-local state equals the
+        given one."""
+        return self._locals_of(agent).get(local_state, frozenset())
 
 
 def _cartesian(choice_lists):

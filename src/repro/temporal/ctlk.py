@@ -13,6 +13,7 @@ total or end in stable "finished" states where this convention is the
 intended reading.
 """
 
+from repro.engine import apply_epistemic, get_default_backend
 from repro.logic.formula import (
     And,
     CommonKnows,
@@ -274,32 +275,16 @@ class CTLKModelChecker:
     def _evaluate_epistemic(self, formula):
         """Evaluate an epistemic operator whose operand may itself be a CTLK
         formula: the operand's extension is computed first and the knowledge
-        relation of the system's structure is applied to it."""
+        relation of the system's structure is applied to it through the
+        world-set backend (the structure's worlds are exactly the reachable
+        states, so checker state-sets convert losslessly)."""
         structure = self.system.structure
-        inner = self.extension(formula.operand)
-        states = set(self._states)
-        if isinstance(formula, Knows):
-            return {s for s in states if set(structure.accessible(formula.agent, s)) <= inner}
-        if isinstance(formula, Possible):
-            return {s for s in states if set(structure.accessible(formula.agent, s)) & inner}
-        if isinstance(formula, EveryoneKnows):
-            return {
-                s
-                for s in states
-                if all(set(structure.accessible(a, s)) <= inner for a in formula.group)
-            }
-        if isinstance(formula, CommonKnows):
-            adjacency = structure.group_relation(formula.group, mode="union")
-            result = set()
-            for s in states:
-                reachable = structure.reachable_via(adjacency, adjacency.get(s, frozenset()))
-                if reachable <= inner:
-                    result.add(s)
-            return result
-        if isinstance(formula, DistributedKnows):
-            adjacency = structure.group_relation(formula.group, mode="intersection")
-            return {s for s in states if set(adjacency.get(s, frozenset())) <= inner}
-        raise FormulaError(f"unknown epistemic operator {formula!r}")
+        backend = get_default_backend()
+        inner = backend.from_worlds(structure, self.extension(formula.operand))
+        result = apply_epistemic(backend, structure, formula, inner)
+        # Restrict to the checker's states: a duck-typed system may expose a
+        # knowledge structure over more worlds than the checked state space.
+        return backend.to_frozenset(structure, result) & self._state_set
 
     # -- fixed points -------------------------------------------------------------------
 

@@ -45,6 +45,11 @@ class ModelError(ReproError):
     required, undefined transitions, ...)."""
 
 
+class EngineError(ReproError):
+    """Raised by the evaluation engine on misuse of the set-backend layer
+    (unknown backend name, invalid group-relation mode, ...)."""
+
+
 class ProgramError(ReproError):
     """Raised when a standard or knowledge-based program is malformed, e.g.
     a clause refers to an unknown agent or action."""

@@ -1,0 +1,276 @@
+"""Equivalence and behaviour of the world-set evaluation backends
+(:mod:`repro.engine`)."""
+
+import os
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import (
+    BitsetBackend,
+    Evaluator,
+    FrozensetBackend,
+    available_backends,
+    backend_by_name,
+    evaluator_for,
+    get_default_backend,
+    local_guard_value,
+    set_default_backend,
+    use_backend,
+)
+from repro.kripke import EpistemicStructure, generated_substructure
+from repro.logic import extension, holds
+from repro.logic.formula import (
+    FALSE,
+    TRUE,
+    And,
+    CommonKnows,
+    DistributedKnows,
+    EveryoneKnows,
+    Iff,
+    Implies,
+    Knows,
+    Not,
+    Or,
+    Possible,
+    Prop,
+)
+from repro.util.errors import EngineError, ModelError
+
+AGENTS = ("a", "b", "c")
+PROPS = ("p", "q", "r")
+
+
+def random_structure(rng, max_worlds=9):
+    """A small random structure with arbitrary (not necessarily S5)
+    relations, so the backends are exercised beyond the equivalence case."""
+    n_worlds = rng.randint(1, max_worlds)
+    worlds = [f"w{i}" for i in range(n_worlds)]
+    agents = list(AGENTS[: rng.randint(1, len(AGENTS))])
+    labelling = {
+        world: {prop for prop in PROPS if rng.random() < 0.5} for world in worlds
+    }
+    accessibility = {
+        agent: {
+            world: {other for other in worlds if rng.random() < 0.35}
+            for world in worlds
+        }
+        for agent in agents
+    }
+    return EpistemicStructure(worlds, accessibility, labelling, agents=agents)
+
+
+def formula_suite(agents):
+    """One formula per construct (plus nestings), over the given agents."""
+    p, q, r = Prop("p"), Prop("q"), Prop("r")
+    first = agents[0]
+    group = tuple(agents)
+    pair = tuple(agents[:2])
+    return [
+        TRUE,
+        FALSE,
+        p,
+        Prop("unlabelled"),
+        Not(p),
+        And((p, q)),
+        Or((p, q, r)),
+        Implies(p, q),
+        Iff(p, Not(q)),
+        Knows(first, p),
+        Knows(first, Implies(p, q)),
+        Possible(first, And((p, Not(q)))),
+        EveryoneKnows(pair, p),
+        EveryoneKnows(group, Or((p, q))),
+        CommonKnows(pair, Or((p, Not(p)))),
+        CommonKnows(group, Or((p, q))),
+        DistributedKnows(pair, p),
+        DistributedKnows(group, Implies(p, q)),
+        Knows(first, CommonKnows(pair, p)),
+        Not(CommonKnows(group, And((p, q)))),
+        Possible(first, DistributedKnows(pair, Not(r))),
+        Iff(EveryoneKnows(pair, p), Knows(first, p)),
+    ]
+
+
+class TestBackendEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_every_construct_agrees_on_random_structures(self, seed):
+        rng = random.Random(seed)
+        structure = random_structure(rng)
+        reference = Evaluator(structure, FrozensetBackend())
+        fast = Evaluator(structure, BitsetBackend())
+        for formula in formula_suite(structure.agents):
+            expected = reference.extension(formula)
+            actual = fast.extension(formula)
+            assert actual == expected, (
+                f"backends disagree on {formula} over {structure.describe()}"
+            )
+            for world in structure.worlds:
+                assert reference.holds(world, formula) == fast.holds(world, formula)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_reachability_agrees(self, seed):
+        rng = random.Random(seed)
+        structure = random_structure(rng)
+        start = {w for w in structure.worlds if rng.random() < 0.4}
+        if not start:
+            start = {structure.worlds[0]}
+        frozen = FrozensetBackend()
+        bits = BitsetBackend()
+        expected = frozen.reachable(structure, start)
+        actual = bits.to_frozenset(structure, bits.reachable(structure, start))
+        assert actual == expected
+        with use_backend("frozenset"):
+            sub_frozen = generated_substructure(structure, start)
+        with use_backend("bitset"):
+            sub_bits = generated_substructure(structure, start)
+        assert set(sub_frozen.worlds) == set(sub_bits.worlds)
+
+    def test_public_extension_matches_both_backends(self, two_agent_structure):
+        formula = Knows("a", Or((Prop("p"), Prop("q"))))
+        assert extension(two_agent_structure, formula, backend="frozenset") == extension(
+            two_agent_structure, formula, backend="bitset"
+        )
+
+
+class TestWorldIndexing:
+    def test_dense_index_follows_construction_order(self, two_agent_structure):
+        for expected, world in enumerate(two_agent_structure.worlds):
+            assert two_agent_structure.index_of(world) == expected
+            assert two_agent_structure.world_at(expected) == world
+        assert two_agent_structure.world_index == {
+            world: index for index, world in enumerate(two_agent_structure.worlds)
+        }
+
+    def test_unknown_world_and_index_raise(self, two_agent_structure):
+        with pytest.raises(ModelError):
+            two_agent_structure.index_of("nope")
+        with pytest.raises(ModelError):
+            two_agent_structure.world_at(len(two_agent_structure) + 5)
+        with pytest.raises(ModelError):
+            two_agent_structure.world_at(-1)
+
+
+class TestEvaluatorCaching:
+    def test_extension_is_memoised_per_structure(self, two_agent_structure):
+        evaluator = evaluator_for(two_agent_structure)
+        formula = Knows("a", Prop("p"))
+        first = evaluator.extension(formula)
+        assert first is evaluator.extension(formula)
+        assert formula in evaluator.cache
+        assert evaluator_for(two_agent_structure) is evaluator
+
+    def test_distinct_backends_get_distinct_evaluators(self, two_agent_structure):
+        fast = evaluator_for(two_agent_structure, "bitset")
+        reference = evaluator_for(two_agent_structure, "frozenset")
+        assert fast is not reference
+        assert fast.backend.name == "bitset"
+        assert reference.backend.name == "frozenset"
+
+    def test_public_extension_returns_fresh_mutable_set(self, two_agent_structure):
+        formula = Prop("p")
+        result = extension(two_agent_structure, formula)
+        assert isinstance(result, set)
+        result.clear()  # must not corrupt the persistent cache
+        assert extension(two_agent_structure, formula) == {
+            world
+            for world in two_agent_structure.worlds
+            if two_agent_structure.label_holds(world, "p")
+        }
+
+    def test_clear_cache(self, two_agent_structure):
+        evaluator = Evaluator(two_agent_structure)
+        evaluator.extension(Prop("p"))
+        assert evaluator.cache
+        evaluator.clear_cache()
+        assert not evaluator.cache
+
+    def test_holds_validates_world(self, two_agent_structure):
+        with pytest.raises(ModelError):
+            holds(two_agent_structure, "nope", TRUE)
+
+
+class TestKnowledgeLevelValidation:
+    def test_unknown_state_raises_on_both_backends(self, two_agent_structure):
+        from repro.analysis import knowledge_level_reached
+
+        class SystemShim:
+            structure = two_agent_structure
+            states = two_agent_structure.worlds
+
+        for backend in available_backends():
+            with use_backend(backend):
+                with pytest.raises(ModelError):
+                    knowledge_level_reached(SystemShim(), "nope", Prop("p"), ("a", "b"))
+
+
+class TestLocalGuardValue:
+    def test_uniform_and_non_local_guards(self):
+        structure = EpistemicStructure(
+            ["u", "v", "w"],
+            {"a": {"u": {"u", "v"}, "v": {"u", "v"}, "w": {"w"}}},
+            {"u": {"p"}, "v": {"p"}, "w": set()},
+        )
+        evaluator = evaluator_for(structure)
+        assert local_guard_value(evaluator, {"u", "v"}, Prop("p")) is True
+        assert local_guard_value(evaluator, {"w"}, Prop("p")) is False
+        assert local_guard_value(evaluator, {"u", "w"}, Prop("p")) is None
+
+
+class TestBackendSelection:
+    def test_registry(self):
+        assert available_backends() == ["bitset", "frozenset"]
+        assert backend_by_name("bitset").name == "bitset"
+        with pytest.raises(EngineError):
+            backend_by_name("bdd")
+
+    def test_bitset_is_the_default(self):
+        # The process default is bitset unless the suite itself is being run
+        # under a REPRO_SET_BACKEND override (the CI matrix does this).
+        expected = os.environ.get("REPRO_SET_BACKEND", "bitset")
+        assert get_default_backend().name == expected
+
+    def test_use_backend_restores_previous_default(self):
+        before = get_default_backend()
+        with use_backend("frozenset") as backend:
+            assert backend.name == "frozenset"
+            assert get_default_backend() is backend
+        assert get_default_backend() is before
+
+    def test_set_default_backend_accepts_instances_and_names(self):
+        previous = set_default_backend("frozenset")
+        try:
+            assert get_default_backend().name == "frozenset"
+        finally:
+            set_default_backend(previous)
+        assert get_default_backend() is previous
+
+
+class TestEmptyGroupRelations:
+    def test_empty_intersection_is_the_full_relation(self, two_agent_structure):
+        # Regression: this used to crash with IndexError on per_agent[0].
+        relation = two_agent_structure.group_relation((), mode="intersection")
+        all_worlds = frozenset(two_agent_structure.worlds)
+        assert relation == {world: all_worlds for world in two_agent_structure.worlds}
+
+    def test_empty_union_is_the_empty_relation(self, two_agent_structure):
+        relation = two_agent_structure.group_relation((), mode="union")
+        assert relation == {world: frozenset() for world in two_agent_structure.worlds}
+
+    def test_backends_agree_on_empty_group_operators(self, two_agent_structure):
+        structure = two_agent_structure
+        frozen = FrozensetBackend()
+        bits = BitsetBackend()
+        inner_worlds = frozenset(
+            world for world in structure.worlds if structure.label_holds(world, "p")
+        )
+        inner_bits = bits.from_worlds(structure, inner_worlds)
+        assert bits.to_frozenset(
+            structure, bits.distributed_knows(structure, (), inner_bits)
+        ) == frozen.distributed_knows(structure, (), inner_worlds)
+        assert bits.to_frozenset(
+            structure, bits.everyone_knows(structure, (), inner_bits)
+        ) == frozen.everyone_knows(structure, (), inner_worlds)
