@@ -77,7 +77,7 @@ def _level_reached_via_backend(structure, state, formula, group, max_level):
         if not backend.contains(structure, nxt, state):
             return level
         level += 1
-        if nxt == current:
+        if backend.equals(nxt, current):
             # The E-iteration has stabilised with ``state`` still inside, so
             # every deeper level up to ``max_level`` would also succeed; skip
             # straight to the common-knowledge check.

@@ -13,7 +13,15 @@ analysis (:mod:`repro.analysis.common_knowledge`), CTLK model checking
   :class:`repro.kripke.structure.EpistemicStructure` assigns at
   construction time;
 * :class:`~repro.engine.backend.FrozensetBackend` preserves the original
-  explicit ``frozenset`` evaluation and serves as the semantic baseline.
+  explicit ``frozenset`` evaluation and serves as the semantic baseline;
+* :class:`~repro.engine.matrix.MatrixBackend` (``"matrix"``) vectorises the
+  epistemic operators as NumPy boolean matrix algebra; it is loaded lazily
+  and only listed by :func:`available_backends` when NumPy is importable.
+
+The backend set is open: :func:`register_backend` registers a factory under
+a name, optionally gated on an availability predicate, and every consumer
+of :func:`available_backends` — the equivalence test-suite, the benchmark
+harness, CI — picks the new backend up automatically.
 
 Select a backend per call (``extension(structure, phi, backend="frozenset")``),
 per process (:func:`set_default_backend`, or the ``REPRO_SET_BACKEND``
@@ -28,10 +36,14 @@ from repro.engine.backend import (
     FrozensetBackend,
     SetBackend,
     available_backends,
+    backend_available,
     backend_by_name,
     get_default_backend,
+    register_backend,
+    registered_backends,
     resolve_backend,
     set_default_backend,
+    unregister_backend,
     use_backend,
 )
 from repro.engine.evaluator import (
@@ -41,18 +53,37 @@ from repro.engine.evaluator import (
     local_guard_value,
 )
 
+# ``MatrixBackend`` is deliberately NOT in ``__all__``: a star-import would
+# resolve it through ``__getattr__`` and pull NumPy in eagerly (and fail
+# outright in NumPy-less environments).  Import it explicitly.
 __all__ = [
     "SetBackend",
     "FrozensetBackend",
     "BitsetBackend",
     "available_backends",
+    "backend_available",
     "backend_by_name",
     "get_default_backend",
+    "register_backend",
+    "registered_backends",
     "resolve_backend",
     "set_default_backend",
+    "unregister_backend",
     "use_backend",
     "Evaluator",
     "apply_epistemic",
     "evaluator_for",
     "local_guard_value",
 ]
+
+
+def __getattr__(name):
+    # ``MatrixBackend`` lives in a module that imports NumPy at load time,
+    # so it is exposed lazily: ``from repro.engine import MatrixBackend``
+    # works when NumPy is installed, while a plain ``import repro.engine``
+    # never touches NumPy.
+    if name == "MatrixBackend":
+        from repro.engine.matrix import MatrixBackend
+
+        return MatrixBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -15,7 +15,7 @@ the handful of primitive operations the evaluator needs:
 * ``reachable`` — closure of a set of worlds under accessibility, used for
   generated substructures.
 
-Two backends are provided:
+Three backends ship with the library:
 
 :class:`FrozensetBackend`
     Represents a world-set as a ``frozenset`` of world identifiers and
@@ -29,6 +29,19 @@ Two backends are provided:
     algebra becomes ``&``/``|``, the modal operators become per-world mask
     tests and common knowledge becomes a backward fixed-point over masks
     instead of a breadth-first search per world.  This is the fast default.
+
+:class:`repro.engine.matrix.MatrixBackend`
+    Represents a world-set as a NumPy boolean vector and per-agent
+    accessibility as a dense boolean adjacency matrix; the modal operators
+    are vectorised matrix products with no per-world Python loop.  It is
+    registered lazily and gated on NumPy being importable — this module
+    never imports NumPy itself.
+
+Backends are registered through :func:`register_backend`, which takes a
+*factory* (instantiated on first request) and an optional availability
+predicate, so optional-dependency backends cost nothing until used and
+disappear cleanly from :func:`available_backends` when their dependency is
+missing.
 
 Backends are stateless; all per-structure derived data (masks, proposition
 extensions, group relations) is memoised in ``structure.engine_cache``,
@@ -197,6 +210,13 @@ class SetBackend:
 
     def size(self, ws):
         raise NotImplementedError
+
+    def equals(self, a, b):
+        """Return ``True`` iff two world-sets (of the same structure) are
+        equal.  The default ``==`` is correct for scalar representations
+        (frozensets, int bitmasks); array-valued backends must override it,
+        since their ``==`` is elementwise."""
+        return a == b
 
     # -- epistemic operators ----------------------------------------------------------
 
@@ -440,26 +460,108 @@ class BitsetBackend(SetBackend):
 
 
 # -- backend registry and default selection ------------------------------------------
+#
+# The registry maps names to *factories* rather than instances, so a backend
+# whose implementation needs an optional dependency (the NumPy-based matrix
+# backend) costs nothing until it is first requested: its module is imported
+# and its instance constructed lazily by :func:`backend_by_name`.  An
+# ``available`` predicate gates registration-time optional dependencies —
+# an unavailable backend stays registered (so error messages can name it)
+# but is hidden from :func:`available_backends` and refuses instantiation.
 
-_BACKENDS = {
-    FrozensetBackend.name: FrozensetBackend(),
-    BitsetBackend.name: BitsetBackend(),
-}
+
+class _BackendEntry:
+    __slots__ = ("factory", "available", "instance")
+
+    def __init__(self, factory, available):
+        self.factory = factory
+        self.available = available
+        self.instance = None
+
+
+_REGISTRY = {}
+
+
+def register_backend(name, factory, available=None, replace=False):
+    """Register a world-set backend under ``name``.
+
+    Parameters
+    ----------
+    name:
+        The registry key; what :func:`resolve_backend` and the
+        ``REPRO_SET_BACKEND`` environment variable accept.
+    factory:
+        Zero-argument callable returning a :class:`SetBackend` instance.
+        Called at most once, on first request (lazy instantiation) — heavy
+        imports belong inside the factory, not at registration time.
+    available:
+        Optional zero-argument predicate; when it returns falsy (or raises)
+        the backend is hidden from :func:`available_backends` and
+        :func:`backend_by_name` raises :class:`EngineError` for it.  Use it
+        to gate backends on optional dependencies.
+    replace:
+        Allow overwriting an existing registration (default ``False``).
+    """
+    if not replace and name in _REGISTRY:
+        raise EngineError(f"set backend {name!r} is already registered")
+    _REGISTRY[name] = _BackendEntry(factory, available)
+
+
+def unregister_backend(name):
+    """Remove a registered backend (primarily for tests and plugins).
+
+    The process default backend cannot be unregistered.
+    """
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise EngineError(f"unknown set backend {name!r}")
+    if "_default_backend" in globals() and _default_backend is entry.instance:
+        raise EngineError(f"cannot unregister the current default backend {name!r}")
+    del _REGISTRY[name]
+
+
+def backend_available(name):
+    """Return ``True`` iff ``name`` is registered and its availability
+    predicate (if any) passes."""
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        return False
+    if entry.available is None:
+        return True
+    try:
+        return bool(entry.available())
+    except Exception:
+        return False
+
+
+def registered_backends():
+    """Return the names of all registered backends, available or not."""
+    return sorted(_REGISTRY)
 
 
 def available_backends():
-    """Return the names of the registered backends."""
-    return sorted(_BACKENDS)
+    """Return the names of the registered backends that are usable in this
+    environment (optional-dependency backends are filtered out when their
+    dependency is missing)."""
+    return sorted(name for name in _REGISTRY if backend_available(name))
 
 
 def backend_by_name(name):
-    """Return the registered backend called ``name``."""
-    try:
-        return _BACKENDS[name]
-    except KeyError:
+    """Return the backend called ``name``, instantiating it on first use."""
+    entry = _REGISTRY.get(name)
+    if entry is None:
         raise EngineError(
             f"unknown set backend {name!r}; available: {available_backends()}"
-        ) from None
+        )
+    if entry.instance is None:
+        if not backend_available(name):
+            raise EngineError(
+                f"set backend {name!r} is registered but not available in this "
+                f"environment (missing optional dependency?); "
+                f"available: {available_backends()}"
+            )
+        entry.instance = entry.factory()
+    return entry.instance
 
 
 def resolve_backend(backend):
@@ -500,5 +602,27 @@ def use_backend(backend):
     finally:
         set_default_backend(previous)
 
+
+# -- built-in registrations ----------------------------------------------------------
+
+
+def _numpy_available():
+    from importlib.util import find_spec
+
+    return find_spec("numpy") is not None
+
+
+def _matrix_factory():
+    # Deferred import: this is the only place the engine touches
+    # ``repro.engine.matrix`` (and hence NumPy), so importing this module
+    # never pulls NumPy in unless the matrix backend is actually requested.
+    from repro.engine.matrix import MatrixBackend
+
+    return MatrixBackend()
+
+
+register_backend(FrozensetBackend.name, FrozensetBackend)
+register_backend(BitsetBackend.name, BitsetBackend)
+register_backend("matrix", _matrix_factory, available=_numpy_available)
 
 _default_backend = backend_by_name(os.environ.get("REPRO_SET_BACKEND", BitsetBackend.name))

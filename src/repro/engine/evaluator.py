@@ -184,14 +184,22 @@ def local_guard_value(evaluator, witness_worlds, guard):
     every world of ``witness_worlds``, and ``None`` when it differs between
     them (i.e. the guard is not local to the observing agent).  This is the
     backend fast path for knowledge-based-program guard evaluation: one
-    intersection instead of a per-world membership scan.
+    set difference instead of a per-world membership scan.
+
+    The *empty* witness class is vacuously uniform — the guard holds at
+    every world of the class, there being none — so it yields ``True``,
+    consistent with the paper's convention that ``K_a phi`` is true at a
+    local state no reachable global state carries.  (It previously fell
+    through to ``False`` because the all-inside test ran after the
+    none-inside test.)
     """
     structure = evaluator.structure
     backend = evaluator.backend
     witnesses = backend.from_worlds(structure, witness_worlds)
-    inside = backend.intersection(witnesses, evaluator.extension_ws(guard))
-    if backend.is_empty(inside):
-        return False
-    if inside == witnesses:
+    extension = evaluator.extension_ws(guard)
+    outside = backend.difference(witnesses, extension)
+    if backend.is_empty(outside):
         return True
+    if backend.is_empty(backend.intersection(witnesses, extension)):
+        return False
     return None

@@ -19,6 +19,7 @@ from itertools import combinations
 from repro.interpretation.functional import StateSetView, derive_protocol
 from repro.systems.interpreted_system import represent
 from repro.util.errors import InterpretationError
+from repro.util.helpers import stable_sort_key
 
 
 class ImplementationSearchResult:
@@ -129,7 +130,7 @@ def enumerate_implementations(
         for extra in combinations(free, size):
             candidates_checked += 1
             candidate = initial_set | frozenset(extra)
-            view = StateSetView(context, sorted(candidate, key=repr))
+            view = StateSetView(context, sorted(candidate, key=stable_sort_key))
             try:
                 protocol = derive_protocol(program, view, require_local=require_local)
             except InterpretationError:

@@ -12,6 +12,7 @@ from repro.util.helpers import (
     frozen_mapping,
     powerset,
     product_dicts,
+    stable_sort_key,
     stable_unique,
 )
 
@@ -25,5 +26,6 @@ __all__ = [
     "frozen_mapping",
     "powerset",
     "product_dicts",
+    "stable_sort_key",
     "stable_unique",
 ]

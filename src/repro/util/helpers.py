@@ -45,6 +45,67 @@ def product_dicts(domains):
         yield dict(zip(keys, combo))
 
 
+def stable_sort_key(value):
+    """Return a sort key for ``value`` that equal values always share.
+
+    Sorting heterogeneous hashable objects (local states, global states) by
+    ``repr`` is unsound as a canonicalisation device: the default
+    ``object.__repr__`` embeds the memory address, so two *equal* objects
+    created at different times sort differently, and any signature built
+    from the sorted sequence flips nondeterministically between runs (and
+    between equal-but-distinct instances within one run).
+
+    This key is structural instead: builtin scalars and containers are
+    ordered by type rank and (recursively canonicalised) value, and any
+    other object is keyed by its type name and value ``hash`` — equal
+    objects hash equal, so they always receive the same key regardless of
+    identity or ``repr``.  Distinct unequal objects of the same type can
+    collide only when their hashes collide, in which case the sort merely
+    leaves them in input order.
+
+    The hash fallback is the only generically value-faithful canonical:
+    keying an opaque object by its attributes instead would hand *unequal*
+    keys to objects that compare equal while differing in an
+    equality-irrelevant attribute, recreating the instability this key
+    exists to remove.  The trade-off is that the relative order of
+    *unequal* opaque objects follows their hashes, so for salted hashes
+    (e.g. over strings) it is stable within a process but may differ
+    across runs under different ``PYTHONHASHSEED`` values; anything that
+    only needs equal collections to canonicalise identically — protocol
+    signatures, fixed-point and cycle detection — is unaffected.
+
+    >>> stable_sort_key((1, "a")) == stable_sort_key((1, "a"))
+    True
+    >>> sorted([2, "b", None, ()], key=stable_sort_key)
+    [None, 2, 'b', ()]
+    """
+    if value is None:
+        return (0,)
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    if isinstance(value, bytes):
+        return (4, value)
+    if isinstance(value, (tuple, list)):
+        return (5, tuple(stable_sort_key(item) for item in value))
+    if isinstance(value, (set, frozenset)):
+        return (6, tuple(sorted(stable_sort_key(item) for item in value)))
+    if isinstance(value, dict):
+        return (
+            7,
+            tuple(
+                sorted(
+                    (stable_sort_key(key), stable_sort_key(val))
+                    for key, val in value.items()
+                )
+            ),
+        )
+    return (8, type(value).__name__, hash(value))
+
+
 def stable_unique(items):
     """Return ``items`` with duplicates removed, preserving first-seen order.
 

@@ -1,8 +1,20 @@
 """Equivalence and behaviour of the world-set evaluation backends
-(:mod:`repro.engine`)."""
+(:mod:`repro.engine`).
 
+Every test that checks backend behaviour is parametrised over
+``available_backends()`` — the live registry — so a newly registered
+backend (e.g. the NumPy ``matrix`` backend) is pulled into the equivalence
+harness automatically, and a backend whose optional dependency is missing
+drops out without failures.  :class:`FrozensetBackend` is the semantic
+reference every other backend is compared against.
+"""
+
+import importlib.util
 import os
 import random
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -12,11 +24,15 @@ from repro.engine import (
     Evaluator,
     FrozensetBackend,
     available_backends,
+    backend_available,
     backend_by_name,
     evaluator_for,
     get_default_backend,
     local_guard_value,
+    register_backend,
+    registered_backends,
     set_default_backend,
+    unregister_backend,
     use_backend,
 )
 from repro.kripke import EpistemicStructure, generated_substructure
@@ -40,6 +56,14 @@ from repro.util.errors import EngineError, ModelError
 
 AGENTS = ("a", "b", "c")
 PROPS = ("p", "q", "r")
+
+# Snapshot at collection time: the registry is process-global state and some
+# tests below mutate it (with cleanup), so the parametrisation lists are
+# fixed here.
+BACKENDS = available_backends()
+HAS_NUMPY = importlib.util.find_spec("numpy") is not None
+
+all_backends = pytest.mark.parametrize("backend_name", BACKENDS)
 
 
 def random_structure(rng, max_worlds=9):
@@ -94,46 +118,105 @@ def formula_suite(agents):
 
 
 class TestBackendEquivalence:
-    @settings(max_examples=60, deadline=None)
+    @all_backends
+    @settings(max_examples=40, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=10_000))
-    def test_every_construct_agrees_on_random_structures(self, seed):
+    def test_every_construct_agrees_on_random_structures(self, backend_name, seed):
         rng = random.Random(seed)
         structure = random_structure(rng)
         reference = Evaluator(structure, FrozensetBackend())
-        fast = Evaluator(structure, BitsetBackend())
+        candidate = Evaluator(structure, backend_by_name(backend_name))
         for formula in formula_suite(structure.agents):
             expected = reference.extension(formula)
-            actual = fast.extension(formula)
+            actual = candidate.extension(formula)
             assert actual == expected, (
-                f"backends disagree on {formula} over {structure.describe()}"
+                f"backend {backend_name!r} disagrees on {formula} "
+                f"over {structure.describe()}"
             )
             for world in structure.worlds:
-                assert reference.holds(world, formula) == fast.holds(world, formula)
+                assert reference.holds(world, formula) == candidate.holds(
+                    world, formula
+                )
 
+    @all_backends
     @settings(max_examples=25, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=10_000))
-    def test_reachability_agrees(self, seed):
+    def test_reachability_agrees(self, backend_name, seed):
         rng = random.Random(seed)
         structure = random_structure(rng)
         start = {w for w in structure.worlds if rng.random() < 0.4}
         if not start:
             start = {structure.worlds[0]}
-        frozen = FrozensetBackend()
-        bits = BitsetBackend()
-        expected = frozen.reachable(structure, start)
-        actual = bits.to_frozenset(structure, bits.reachable(structure, start))
+        reference = FrozensetBackend()
+        candidate = backend_by_name(backend_name)
+        expected = reference.reachable(structure, start)
+        actual = candidate.to_frozenset(
+            structure, candidate.reachable(structure, start)
+        )
         assert actual == expected
         with use_backend("frozenset"):
-            sub_frozen = generated_substructure(structure, start)
-        with use_backend("bitset"):
-            sub_bits = generated_substructure(structure, start)
-        assert set(sub_frozen.worlds) == set(sub_bits.worlds)
+            sub_reference = generated_substructure(structure, start)
+        with use_backend(backend_name):
+            sub_candidate = generated_substructure(structure, start)
+        assert set(sub_reference.worlds) == set(sub_candidate.worlds)
 
-    def test_public_extension_matches_both_backends(self, two_agent_structure):
-        formula = Knows("a", Or((Prop("p"), Prop("q"))))
-        assert extension(two_agent_structure, formula, backend="frozenset") == extension(
-            two_agent_structure, formula, backend="bitset"
+    @all_backends
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_reachability_with_agent_subsets(self, backend_name, seed):
+        # Regression scope: only the all-agents default used to be exercised.
+        rng = random.Random(seed)
+        structure = random_structure(rng)
+        start = {w for w in structure.worlds if rng.random() < 0.4}
+        if not start:
+            start = {structure.worlds[0]}
+        reference = FrozensetBackend()
+        candidate = backend_by_name(backend_name)
+        subsets = [(), structure.agents[:1], structure.agents[1:], structure.agents]
+        for agents in subsets:
+            expected = reference.reachable(structure, start, agents=agents)
+            actual = candidate.to_frozenset(
+                structure, candidate.reachable(structure, start, agents=agents)
+            )
+            assert actual == expected, (
+                f"backend {backend_name!r} disagrees on reachable with "
+                f"agents={agents!r}"
+            )
+
+    @all_backends
+    def test_reachable_with_empty_agent_tuple_is_the_start_set(
+        self, backend_name, two_agent_structure
+    ):
+        # The union over no agents is the empty relation, so the closure of
+        # any start set under it is the start set itself.
+        backend = backend_by_name(backend_name)
+        start = {two_agent_structure.worlds[0], two_agent_structure.worlds[2]}
+        result = backend.to_frozenset(
+            two_agent_structure,
+            backend.reachable(two_agent_structure, start, agents=()),
         )
+        assert result == frozenset(start)
+
+    @all_backends
+    def test_reachable_with_single_agent_follows_only_that_relation(
+        self, backend_name, two_agent_structure
+    ):
+        # Agent ``a`` observes ``p``: from w00 it reaches exactly {w00, w01}.
+        backend = backend_by_name(backend_name)
+        result = backend.to_frozenset(
+            two_agent_structure,
+            backend.reachable(two_agent_structure, {"w00"}, agents=("a",)),
+        )
+        assert result == frozenset({"w00", "w01"})
+
+    def test_public_extension_matches_all_backends(self, two_agent_structure):
+        formula = Knows("a", Or((Prop("p"), Prop("q"))))
+        reference = extension(two_agent_structure, formula, backend="frozenset")
+        for backend_name in BACKENDS:
+            assert (
+                extension(two_agent_structure, formula, backend=backend_name)
+                == reference
+            )
 
 
 class TestWorldIndexing:
@@ -164,11 +247,12 @@ class TestEvaluatorCaching:
         assert evaluator_for(two_agent_structure) is evaluator
 
     def test_distinct_backends_get_distinct_evaluators(self, two_agent_structure):
-        fast = evaluator_for(two_agent_structure, "bitset")
-        reference = evaluator_for(two_agent_structure, "frozenset")
-        assert fast is not reference
-        assert fast.backend.name == "bitset"
-        assert reference.backend.name == "frozenset"
+        evaluators = [
+            evaluator_for(two_agent_structure, name) for name in BACKENDS
+        ]
+        assert len({id(evaluator) for evaluator in evaluators}) == len(BACKENDS)
+        for name, evaluator in zip(BACKENDS, evaluators):
+            assert evaluator.backend.name == name
 
     def test_public_extension_returns_fresh_mutable_set(self, two_agent_structure):
         formula = Prop("p")
@@ -194,40 +278,140 @@ class TestEvaluatorCaching:
 
 
 class TestKnowledgeLevelValidation:
-    def test_unknown_state_raises_on_both_backends(self, two_agent_structure):
+    def test_unknown_state_raises_on_every_backend(self, two_agent_structure):
         from repro.analysis import knowledge_level_reached
 
         class SystemShim:
             structure = two_agent_structure
             states = two_agent_structure.worlds
 
-        for backend in available_backends():
+        for backend in BACKENDS:
             with use_backend(backend):
                 with pytest.raises(ModelError):
                     knowledge_level_reached(SystemShim(), "nope", Prop("p"), ("a", "b"))
 
+    @all_backends
+    def test_knowledge_levels_agree(self, backend_name, two_agent_structure):
+        from repro.analysis import knowledge_level_reached
+
+        class SystemShim:
+            structure = two_agent_structure
+            states = two_agent_structure.worlds
+
+        formula = Or((Prop("p"), Not(Prop("p"))))
+        with use_backend("frozenset"):
+            expected = knowledge_level_reached(SystemShim(), "w00", formula, ("a", "b"))
+        with use_backend(backend_name):
+            actual = knowledge_level_reached(SystemShim(), "w00", formula, ("a", "b"))
+        assert actual == expected
+
 
 class TestLocalGuardValue:
-    def test_uniform_and_non_local_guards(self):
+    @all_backends
+    def test_uniform_and_non_local_guards(self, backend_name):
         structure = EpistemicStructure(
             ["u", "v", "w"],
             {"a": {"u": {"u", "v"}, "v": {"u", "v"}, "w": {"w"}}},
             {"u": {"p"}, "v": {"p"}, "w": set()},
         )
-        evaluator = evaluator_for(structure)
+        evaluator = evaluator_for(structure, backend_name)
         assert local_guard_value(evaluator, {"u", "v"}, Prop("p")) is True
         assert local_guard_value(evaluator, {"w"}, Prop("p")) is False
         assert local_guard_value(evaluator, {"u", "w"}, Prop("p")) is None
 
+    @all_backends
+    def test_empty_witness_class_is_vacuously_true(self, backend_name):
+        # Regression: the empty class used to fall through to ``False``
+        # because the none-inside test ran before the all-inside test.  The
+        # guard holds at every world of an empty class, so the uniform value
+        # is ``True`` — matching the convention that ``K_a phi`` holds at a
+        # local state no reachable global state carries.
+        structure = EpistemicStructure(
+            ["u"], {"a": {"u": {"u"}}}, {"u": set()}
+        )
+        evaluator = evaluator_for(structure, backend_name)
+        assert local_guard_value(evaluator, (), Prop("p")) is True
+        assert local_guard_value(evaluator, (), FALSE) is True
 
-class TestBackendSelection:
-    def test_registry(self):
-        assert available_backends() == ["bitset", "frozenset"]
+
+class TestBackendRegistry:
+    def test_builtins_are_registered(self):
+        names = available_backends()
+        assert {"bitset", "frozenset"} <= set(names)
+        assert names == sorted(names)
         assert backend_by_name("bitset").name == "bitset"
         with pytest.raises(EngineError):
             backend_by_name("bdd")
 
-    def test_bitset_is_the_default(self):
+    def test_matrix_backend_listed_iff_numpy_importable(self):
+        assert "matrix" in registered_backends()
+        assert ("matrix" in available_backends()) == HAS_NUMPY
+        assert backend_available("matrix") == HAS_NUMPY
+
+    def test_register_backend_lazy_singleton(self):
+        instantiations = []
+
+        class DummyBackend(FrozensetBackend):
+            name = "dummy"
+
+            def __init__(self):
+                instantiations.append(self)
+
+        register_backend("dummy", DummyBackend)
+        try:
+            assert "dummy" in available_backends()
+            assert not instantiations  # lazy: nothing built at registration
+            first = backend_by_name("dummy")
+            assert backend_by_name("dummy") is first  # memoised singleton
+            assert len(instantiations) == 1
+        finally:
+            unregister_backend("dummy")
+        assert "dummy" not in available_backends()
+        assert "dummy" not in registered_backends()
+
+    def test_duplicate_registration_requires_replace(self):
+        register_backend("dummy2", FrozensetBackend)
+        try:
+            with pytest.raises(EngineError):
+                register_backend("dummy2", FrozensetBackend)
+            register_backend("dummy2", BitsetBackend, replace=True)
+            assert isinstance(backend_by_name("dummy2"), BitsetBackend)
+        finally:
+            unregister_backend("dummy2")
+
+    def test_unavailable_backend_is_hidden_and_refuses_instantiation(self):
+        register_backend("phantom", FrozensetBackend, available=lambda: False)
+        try:
+            assert "phantom" not in available_backends()
+            assert "phantom" in registered_backends()
+            assert not backend_available("phantom")
+            with pytest.raises(EngineError):
+                backend_by_name("phantom")
+        finally:
+            unregister_backend("phantom")
+
+    def test_failing_availability_predicate_counts_as_unavailable(self):
+        def broken():
+            raise RuntimeError("dependency probe exploded")
+
+        register_backend("broken", FrozensetBackend, available=broken)
+        try:
+            assert "broken" not in available_backends()
+            assert not backend_available("broken")
+        finally:
+            unregister_backend("broken")
+
+    def test_unregistering_unknown_or_default_backend_raises(self):
+        with pytest.raises(EngineError):
+            unregister_backend("no-such-backend")
+        default_name = get_default_backend().name
+        with pytest.raises(EngineError):
+            unregister_backend(default_name)
+        assert default_name in available_backends()
+
+
+class TestBackendSelection:
+    def test_default_backend_matches_environment(self):
         # The process default is bitset unless the suite itself is being run
         # under a REPRO_SET_BACKEND override (the CI matrix does this).
         expected = os.environ.get("REPRO_SET_BACKEND", "bitset")
@@ -249,6 +433,40 @@ class TestBackendSelection:
         assert get_default_backend() is previous
 
 
+class TestLazyNumpyImport:
+    def test_importing_the_engine_does_not_import_numpy(self):
+        # The matrix backend's module (and NumPy) must only load when the
+        # backend is actually requested, never as a side effect of importing
+        # the engine — environments without NumPy rely on this.
+        src_dir = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env.pop("REPRO_SET_BACKEND", None)  # a matrix default would import numpy
+        env["PYTHONPATH"] = str(src_dir) + os.pathsep + env.get("PYTHONPATH", "")
+        code = (
+            "import sys; import repro.engine; "
+            "assert 'numpy' not in sys.modules, 'numpy imported eagerly'; "
+            "assert 'repro.engine.matrix' not in sys.modules; "
+            # A star-import must not resolve MatrixBackend through
+            # __getattr__ either — that would pull NumPy in eagerly and
+            # crash outright in NumPy-less environments.
+            "exec('from repro.engine import *'); "
+            "assert 'numpy' not in sys.modules, 'star-import pulled numpy in'"
+        )
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="NumPy not installed")
+    def test_matrix_backend_attribute_loads_lazily(self):
+        from repro.engine import MatrixBackend
+
+        assert backend_by_name("matrix").__class__ is MatrixBackend
+
+    def test_unknown_engine_attribute_raises(self):
+        import repro.engine
+
+        with pytest.raises(AttributeError):
+            repro.engine.does_not_exist
+
+
 class TestEmptyGroupRelations:
     def test_empty_intersection_is_the_full_relation(self, two_agent_structure):
         # Regression: this used to crash with IndexError on per_agent[0].
@@ -260,17 +478,20 @@ class TestEmptyGroupRelations:
         relation = two_agent_structure.group_relation((), mode="union")
         assert relation == {world: frozenset() for world in two_agent_structure.worlds}
 
-    def test_backends_agree_on_empty_group_operators(self, two_agent_structure):
+    @all_backends
+    def test_backends_agree_on_empty_group_operators(
+        self, backend_name, two_agent_structure
+    ):
         structure = two_agent_structure
-        frozen = FrozensetBackend()
-        bits = BitsetBackend()
+        reference = FrozensetBackend()
+        candidate = backend_by_name(backend_name)
         inner_worlds = frozenset(
             world for world in structure.worlds if structure.label_holds(world, "p")
         )
-        inner_bits = bits.from_worlds(structure, inner_worlds)
-        assert bits.to_frozenset(
-            structure, bits.distributed_knows(structure, (), inner_bits)
-        ) == frozen.distributed_knows(structure, (), inner_worlds)
-        assert bits.to_frozenset(
-            structure, bits.everyone_knows(structure, (), inner_bits)
-        ) == frozen.everyone_knows(structure, (), inner_worlds)
+        inner = candidate.from_worlds(structure, inner_worlds)
+        assert candidate.to_frozenset(
+            structure, candidate.distributed_knows(structure, (), inner)
+        ) == reference.distributed_knows(structure, (), inner_worlds)
+        assert candidate.to_frozenset(
+            structure, candidate.everyone_knows(structure, (), inner)
+        ) == reference.everyone_knows(structure, (), inner_worlds)

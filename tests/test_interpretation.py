@@ -184,6 +184,79 @@ class TestIteration:
             )
 
 
+class _ReprUnstableLocal:
+    """A value-equal local state whose ``repr`` differs per instance, like
+    any object relying on the default (address-embedding) ``repr``."""
+
+    _serial = 0
+
+    def __init__(self, value):
+        self.value = value
+        type(self)._serial += 1
+        self._token = type(self)._serial
+
+    def __eq__(self, other):
+        return isinstance(other, _ReprUnstableLocal) and other.value == self.value
+
+    def __hash__(self):
+        return hash(("_ReprUnstableLocal", self.value))
+
+    def __repr__(self):
+        return f"<local #{self._token}>"
+
+
+class TestProtocolSignatureDeterminism:
+    def test_signature_is_stable_across_recreated_local_states(self):
+        # Regression: the signature used to sort local states with
+        # ``key=repr``; equal local states recreated between functional
+        # applications then sorted in creation order, so two behaviourally
+        # identical protocols could produce different signatures and the
+        # fixed-point test ``derived_signature == protocol_signature`` could
+        # fail (or succeed) nondeterministically.
+        from repro.interpretation.iteration import _protocol_signature
+        from repro.systems.protocols import JointProtocol, Protocol
+
+        class StubContext:
+            agents = ("a",)
+
+            def __init__(self, creation_order):
+                self.creation_order = creation_order
+
+            def local_states_of(self, agent, states):
+                return {_ReprUnstableLocal(v) for v in self.creation_order}
+
+        protocol = JointProtocol(
+            {"a": Protocol("a", lambda local: frozenset({f"act{local.value}"}))}
+        )
+        values = list(range(6))
+        first = _protocol_signature(protocol, StubContext(values), states=())
+        # Recreate the same logical local states in the opposite order: the
+        # per-instance repr tokens now anti-correlate with the values, which
+        # flipped the old repr-based ordering.
+        second = _protocol_signature(
+            protocol, StubContext(list(reversed(values))), states=()
+        )
+        assert first == second
+
+    def test_signature_orders_by_value_not_repr(self):
+        from repro.interpretation.iteration import _protocol_signature
+        from repro.systems.protocols import JointProtocol, Protocol
+
+        class StubContext:
+            agents = ("a",)
+
+            def local_states_of(self, agent, states):
+                return set(states)
+
+        protocol = JointProtocol({"a": Protocol("a", lambda local: frozenset({"go"}))})
+        signature = _protocol_signature(
+            protocol, StubContext(), states=("s2", "s0", "s1")
+        )
+        ((agent, entries),) = signature
+        assert agent == "a"
+        assert [local for local, _ in entries] == ["s0", "s1", "s2"]
+
+
 class TestConstructByRounds:
     def test_bit_transmission(self):
         result = construct_by_rounds(bit_transmission.program(), bit_transmission.context())

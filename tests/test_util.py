@@ -13,8 +13,23 @@ from repro.util import (
     frozen_mapping,
     powerset,
     product_dicts,
+    stable_sort_key,
     stable_unique,
 )
+
+
+class _AddressRepr:
+    """A value-equal hashable whose default ``repr`` embeds the identity —
+    the shape that broke ``key=repr`` sorting."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return isinstance(other, _AddressRepr) and other.value == self.value
+
+    def __hash__(self):
+        return hash(("_AddressRepr", self.value))
 
 
 class TestErrors:
@@ -63,3 +78,38 @@ class TestHelpers:
     @given(st.lists(st.integers(), max_size=8))
     def test_powerset_size_property(self, items):
         assert len(list(powerset(items))) == 2 ** len(items)
+
+
+class TestStableSortKey:
+    def test_equal_values_share_a_key_regardless_of_identity(self):
+        assert stable_sort_key(_AddressRepr(7)) == stable_sort_key(_AddressRepr(7))
+        assert stable_sort_key((1, "a")) == stable_sort_key((1, "a"))
+        # ... unlike repr, which embeds the address for such objects:
+        assert repr(_AddressRepr(7)) != repr(_AddressRepr(7))
+
+    def test_orders_heterogeneous_builtins_without_type_errors(self):
+        items = [2, "b", None, (), frozenset({1}), 1.5, b"x", {"k": 1}, True]
+        result = sorted(items, key=stable_sort_key)
+        assert sorted(result, key=stable_sort_key) == result
+        assert result[0] is None
+
+    def test_recursive_containers(self):
+        assert stable_sort_key({("a", 1): {2, 3}}) == stable_sort_key(
+            {("a", 1): {3, 2}}
+        )
+        assert stable_sort_key([1, [2, 3]]) == stable_sort_key((1, (2, 3)))
+
+    def test_sorting_equal_multisets_of_opaque_objects_is_stable(self):
+        first = sorted([_AddressRepr(i) for i in range(10)], key=stable_sort_key)
+        second = sorted(
+            [_AddressRepr(i) for i in reversed(range(10))], key=stable_sort_key
+        )
+        assert first == second
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=12))
+    def test_opaque_object_sort_is_value_determined(self, values):
+        instances = [_AddressRepr(v) for v in values]
+        again = [_AddressRepr(v) for v in reversed(values)]
+        assert sorted(instances, key=stable_sort_key) == sorted(
+            again, key=stable_sort_key
+        )
