@@ -90,6 +90,24 @@ def _workloads():
         for _, (factory, expected) in sorted(vs.PROGRAM_FAMILY.items()):
             assert enumerate_implementations(factory(), context).classification == expected
 
+    from bench_e10_batched_guards import guard_suite
+
+    def e10_setup_256():
+        return grid_structure(8), guard_suite(8)
+
+    def e10_setup_1024():
+        return grid_structure(10), guard_suite(10)
+
+    def e10_scalar_run(inputs):
+        structure, guards = inputs
+        evaluator = Evaluator(structure, get_default_backend())
+        for guard in guards:
+            evaluator.extension(guard)
+
+    def e10_batched_run(inputs):
+        structure, guards = inputs
+        Evaluator(structure, get_default_backend()).extensions(guards)
+
     return [
         ("e3_muddy_children_solve", e3_setup, e3_run),
         ("e6_fixed_point_chain32", e6_setup, e6_run),
@@ -97,6 +115,10 @@ def _workloads():
         ("e7_common_knowledge_256_worlds", e7_common_setup, e7_knowledge_run),
         ("e7_ctlk_abp3", e7_ctlk_setup, e7_ctlk_run),
         ("e8_implementation_search", e8_setup, e8_run),
+        ("e10_guard_eval_scalar_256_worlds", e10_setup_256, e10_scalar_run),
+        ("e10_guard_eval_batched_256_worlds", e10_setup_256, e10_batched_run),
+        ("e10_guard_eval_scalar_1024_worlds", e10_setup_1024, e10_scalar_run),
+        ("e10_guard_eval_batched_1024_worlds", e10_setup_1024, e10_batched_run),
     ]
 
 

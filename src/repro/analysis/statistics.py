@@ -35,7 +35,28 @@ def system_statistics(system):
 
 def knowledge_census(system, propositions=None, agents=None):
     """For each agent and proposition, count at how many reachable states the
-    agent knows the proposition, knows its negation, or is uncertain.
+    agent knows the proposition, knows its negation, knows *both*, or is
+    uncertain.
+
+    The four buckets are disjoint and partition the reachable states:
+
+    ``knows_true`` / ``knows_false``
+        States where the agent knows the proposition / its negation — and not
+        the other one.
+    ``knows_both``
+        States satisfying both ``K_a p`` and ``K_a !p``.  On the usual
+        reflexive (S5) structures this is always ``0``, but
+        :class:`repro.kripke.structure.EpistemicStructure` is deliberately
+        relation-agnostic: at a state with *no* ``R_a``-successors every
+        knowledge formula holds vacuously, so counting such states in both
+        ``knows_*`` buckets used to drive ``uncertain`` (computed as the
+        remainder) negative.
+    ``uncertain``
+        States where the agent knows neither.
+
+    All ``K`` formulas of the census are evaluated in one batched engine
+    pass when the system exposes a persistent evaluator (two modal operands
+    per agent and proposition, grouped per agent).
 
     Parameters
     ----------
@@ -45,10 +66,27 @@ def knowledge_census(system, propositions=None, agents=None):
     agents:
         Defaults to all agents of the system.
     """
-    if agents is None:
-        agents = system.agents
+    agents = list(system.agents if agents is None else agents)
     if propositions is None:
         propositions = sorted(system.structure.propositions)
+    else:
+        propositions = list(propositions)
+    evaluator = getattr(system, "evaluator", None)
+    if evaluator is not None:
+        # Warm the evaluator cache with one batched pass over every census
+        # formula: all ``K_a ...`` operands of one agent share a single
+        # backend ``knows_many`` call.
+        evaluator.extensions(
+            [
+                formula
+                for agent in agents
+                for name in propositions
+                for formula in (
+                    Knows(agent, Prop(name)),
+                    Knows(agent, ~Prop(name)),
+                )
+            ]
+        )
     census = {}
     total = len(system.states)
     for agent in agents:
@@ -57,10 +95,12 @@ def knowledge_census(system, propositions=None, agents=None):
             proposition = Prop(name)
             knows_true = system.extension(Knows(agent, proposition))
             knows_false = system.extension(Knows(agent, ~proposition))
+            knows_both = knows_true & knows_false
             agent_census[name] = {
-                "knows_true": len(knows_true),
-                "knows_false": len(knows_false),
-                "uncertain": total - len(knows_true) - len(knows_false),
+                "knows_true": len(knows_true) - len(knows_both),
+                "knows_false": len(knows_false) - len(knows_both),
+                "knows_both": len(knows_both),
+                "uncertain": total - len(knows_true | knows_false),
             }
         census[agent] = agent_census
     return census

@@ -49,6 +49,8 @@ from repro.engine.backend import (
 from repro.engine.evaluator import (
     Evaluator,
     apply_epistemic,
+    apply_epistemic_many,
+    collect_ready_epistemic,
     evaluator_for,
     local_guard_value,
 )
@@ -72,6 +74,8 @@ __all__ = [
     "use_backend",
     "Evaluator",
     "apply_epistemic",
+    "apply_epistemic_many",
+    "collect_ready_epistemic",
     "evaluator_for",
     "local_guard_value",
 ]

@@ -13,7 +13,14 @@ the handful of primitive operations the evaluator needs:
   intersection of relations) and the transitive-closure based
   ``common_knows``;
 * ``reachable`` — closure of a set of worlds under accessibility, used for
-  generated substructures.
+  generated substructures;
+* batched forms of the modal and group operators (``knows_many``,
+  ``possible_many``, ``everyone_knows_many``, ``common_knows_many``,
+  ``distributed_knows_many``) that apply one operator to many operand
+  world-sets against the same relation.  :class:`SetBackend` provides a
+  generic scalar-loop fallback, so every backend supports the batch API;
+  backends whose representation allows it (the matrix backend) override
+  them with a true multi-operand pass.
 
 Three backends ship with the library:
 
@@ -239,6 +246,38 @@ class SetBackend:
 
     def distributed_knows(self, structure, group, inner):
         raise NotImplementedError
+
+    # -- batched epistemic operators ---------------------------------------------------
+    #
+    # Each ``*_many`` method applies one modal operator to a whole *batch* of
+    # operand world-sets against the same agent/group relation and returns the
+    # list of results in operand order.  The default implementations below are
+    # the generic scalar-loop fallback, correct for every backend; a backend
+    # whose representation supports it (the matrix backend stacks the operands
+    # as columns of a bit-packed ``n x k`` matrix) overrides them with a true
+    # multi-operand pass.  ``Evaluator.extensions`` groups the epistemic nodes
+    # of a formula batch by ``(operator, agent/group)`` and dispatches each
+    # group through exactly one of these calls.
+
+    def knows_many(self, structure, agent, inners):
+        """Batched :meth:`knows` over a list of operand world-sets."""
+        return [self.knows(structure, agent, inner) for inner in inners]
+
+    def possible_many(self, structure, agent, inners):
+        """Batched :meth:`possible` over a list of operand world-sets."""
+        return [self.possible(structure, agent, inner) for inner in inners]
+
+    def everyone_knows_many(self, structure, group, inners):
+        """Batched :meth:`everyone_knows` over a list of operand world-sets."""
+        return [self.everyone_knows(structure, group, inner) for inner in inners]
+
+    def common_knows_many(self, structure, group, inners):
+        """Batched :meth:`common_knows` over a list of operand world-sets."""
+        return [self.common_knows(structure, group, inner) for inner in inners]
+
+    def distributed_knows_many(self, structure, group, inners):
+        """Batched :meth:`distributed_knows` over a list of operand world-sets."""
+        return [self.distributed_knows(structure, group, inner) for inner in inners]
 
     # -- reachability ------------------------------------------------------------------
 

@@ -10,6 +10,12 @@ each distinct subformula exactly once.
 Because :class:`repro.kripke.structure.EpistemicStructure` is immutable,
 the cache never needs invalidation; :func:`evaluator_for` memoises one
 evaluator per (structure, backend) pair in ``structure.engine_cache``.
+
+:meth:`Evaluator.extensions` is the batched entry point: it hash-conses the
+shared subformulas of many formulas once, groups their epistemic nodes by
+``(operator, agent/group)`` and dispatches each group through a single
+backend ``*_many`` call — one stacked matrix pass on the matrix backend, a
+plain scalar loop elsewhere.
 """
 
 from repro.logic.formula import (
@@ -79,6 +85,51 @@ class Evaluator:
             cached = self._compute(formula)
             self.cache[formula] = cached
         return cached
+
+    def extensions(self, formulas):
+        """Return the extensions of many formulas (as frozensets, in order),
+        evaluating their epistemic subformulas in *batches*.
+
+        Structurally equal subformulas shared between the inputs are
+        hash-consed through the cache and computed once; the uncached
+        epistemic nodes of the combined formula DAG are grouped by
+        ``(operator, agent/group)`` and each group is dispatched through one
+        backend ``*_many`` call (innermost modalities first, so operands are
+        always ready).  On backends with a true batch implementation (the
+        matrix backend) ``k`` same-relation modal operands cost one stacked
+        pass instead of ``k`` scalar passes; elsewhere the generic fallback
+        makes this exactly equivalent to per-formula :meth:`extension`.
+        """
+        formulas = list(formulas)
+        self.extensions_ws(formulas)
+        return [self.extension(formula) for formula in formulas]
+
+    def extensions_ws(self, formulas):
+        """Batched :meth:`extension_ws`: returns backend world-sets, in order.
+
+        See :meth:`extensions` for the batching strategy.
+        """
+        formulas = list(formulas)
+        backend = self.backend
+        structure = self.structure
+        is_cached = self.cache.__contains__
+        while True:
+            # One pass per epistemic nesting level, innermost first: a node
+            # is *ready* when the uncached part of its operand contains no
+            # epistemic node, so its operand extension is pure boolean work
+            # over already-batched results.
+            groups = {}
+            memo = {}
+            for formula in formulas:
+                collect_ready_epistemic(formula, is_cached, groups, memo)
+            if not groups:
+                break
+            for nodes in groups.values():
+                inners = [self.extension_ws(node.operand) for node in nodes]
+                results = apply_epistemic_many(backend, structure, nodes, inners)
+                for node, result in zip(nodes, results):
+                    self.cache[node] = result
+        return [self.extension_ws(formula) for formula in formulas]
 
     def clear_cache(self):
         """Drop all memoised extensions (never required for correctness)."""
@@ -156,6 +207,77 @@ def apply_epistemic(backend, structure, formula, inner):
     if isinstance(formula, DistributedKnows):
         return backend.distributed_knows(structure, formula.group, inner)
     raise FormulaError(f"not an epistemic operator: {formula!r}")
+
+
+def _batch_key(formula):
+    """The grouping key of an epistemic node for batched dispatch: nodes with
+    the same operator and agent (or group) evaluate against the same relation
+    and can share one ``*_many`` backend pass."""
+    if isinstance(formula, (Knows, Possible)):
+        return (type(formula), formula.agent)
+    if isinstance(formula, (EveryoneKnows, CommonKnows, DistributedKnows)):
+        return (type(formula), formula.group)
+    raise FormulaError(f"not an epistemic operator: {formula!r}")
+
+
+def collect_ready_epistemic(formula, is_cached, groups, memo):
+    """Collect the deepest uncached epistemic nodes of ``formula`` into
+    ``groups`` (keyed by :func:`_batch_key`); return ``True`` iff the
+    uncached part of ``formula`` contains any uncached epistemic node.
+
+    A node is *ready* when the uncached part of its operand contains no
+    epistemic node, so evaluating the operand involves no further epistemic
+    dispatch — calling this once per batching round yields the innermost
+    pending modality level.  ``is_cached`` abstracts the caller's cache
+    (:attr:`Evaluator.cache` membership, the CTLK checker's extension
+    cache), so the evaluator and the model checker share one walk; ``memo``
+    de-duplicates shared subformulas within one pass, which also keeps each
+    group free of structural duplicates.
+    """
+    state = memo.get(formula)
+    if state is not None:
+        return state
+    if is_cached(formula):
+        memo[formula] = False
+        return False
+    if isinstance(
+        formula, (Knows, Possible, EveryoneKnows, CommonKnows, DistributedKnows)
+    ):
+        if not collect_ready_epistemic(formula.operand, is_cached, groups, memo):
+            groups.setdefault(_batch_key(formula), []).append(formula)
+        memo[formula] = True
+        return True
+    pending = False
+    for child in formula.children():
+        if collect_ready_epistemic(child, is_cached, groups, memo):
+            pending = True
+    memo[formula] = pending
+    return pending
+
+
+def apply_epistemic_many(backend, structure, formulas, inners):
+    """Apply one *group* of identical epistemic operators to precomputed
+    operand world-sets in a single backend batch call.
+
+    All formulas must share the same operator type and agent/group (i.e. the
+    same :func:`_batch_key`); ``inners`` are the operand extensions in
+    ``backend`` representation, in formula order.  This is the batched
+    counterpart of :func:`apply_epistemic`, shared by
+    :meth:`Evaluator.extensions_ws` and the CTLK model checker (whose
+    operands may be temporal and are therefore evaluated by the checker).
+    """
+    head = formulas[0]
+    if isinstance(head, Knows):
+        return backend.knows_many(structure, head.agent, inners)
+    if isinstance(head, Possible):
+        return backend.possible_many(structure, head.agent, inners)
+    if isinstance(head, EveryoneKnows):
+        return backend.everyone_knows_many(structure, head.group, inners)
+    if isinstance(head, CommonKnows):
+        return backend.common_knows_many(structure, head.group, inners)
+    if isinstance(head, DistributedKnows):
+        return backend.distributed_knows_many(structure, head.group, inners)
+    raise FormulaError(f"not an epistemic operator: {head!r}")
 
 
 def evaluator_for(structure, backend=None):

@@ -12,6 +12,13 @@ implementations have distinct reachable sets or agree behaviourally.
 
 The search needs the *full* global state space, which is available for
 variable-based contexts (``context.spec``) or can be passed explicitly.
+
+Per candidate the protocol is derived through
+:func:`repro.interpretation.functional.derive_protocol`, i.e. the batched
+:func:`repro.interpretation.functional.guard_table` path: all guards are
+evaluated over the candidate's epistemic structure in one engine pass
+rather than once per ``(local state, clause)`` pair — the dominant cost of
+the exponential candidate loop.
 """
 
 from itertools import combinations

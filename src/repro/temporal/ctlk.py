@@ -13,7 +13,12 @@ total or end in stable "finished" states where this convention is the
 intended reading.
 """
 
-from repro.engine import apply_epistemic, get_default_backend
+from repro.engine import (
+    apply_epistemic,
+    apply_epistemic_many,
+    collect_ready_epistemic,
+    resolve_backend,
+)
 from repro.logic.formula import (
     And,
     CommonKnows,
@@ -154,11 +159,24 @@ class CTLKModelChecker:
 
     Temporal operators are computed by the standard fixed-point algorithms
     over the (totalised) transition relation; epistemic operators are
-    delegated to the knowledge structure of the system.
+    delegated to the knowledge structure of the system through a world-set
+    backend that is resolved *once*, at construction (``backend=`` accepts a
+    name or a :class:`repro.engine.SetBackend`; the default is the process
+    default **at construction time**).  Pinning the backend keeps a
+    long-lived checker answering through one representation even when the
+    ambient default changes between queries (e.g. a
+    :func:`repro.engine.use_backend` context exiting mid-lifetime).
+
+    Before a formula is evaluated, the uncached epistemic nodes of its DAG
+    are resolved in *batches*: nodes are grouped by ``(operator,
+    agent/group)`` (innermost modalities first, so operands — possibly
+    temporal — are always evaluable) and each group goes through one backend
+    ``*_many`` call, one stacked pass on the matrix backend.
     """
 
-    def __init__(self, system):
+    def __init__(self, system, backend=None):
         self.system = system
+        self.backend = resolve_backend(backend)
         self._states = list(system.states)
         self._state_set = set(self._states)
         relation = system.transition_system.transition_relation()
@@ -181,7 +199,11 @@ class CTLKModelChecker:
     def extension(self, formula):
         """Return the set of reachable states satisfying ``formula``."""
         if formula not in self._cache:
-            self._cache[formula] = frozenset(self._evaluate(formula))
+            self._prefetch_epistemic(formula)
+            # A top-level epistemic formula is already cached by the prefetch;
+            # recomputing it would pay the modal image a second time.
+            if formula not in self._cache:
+                self._cache[formula] = frozenset(self._evaluate(formula))
         return self._cache[formula]
 
     def holds(self, state, formula):
@@ -276,15 +298,48 @@ class CTLKModelChecker:
         """Evaluate an epistemic operator whose operand may itself be a CTLK
         formula: the operand's extension is computed first and the knowledge
         relation of the system's structure is applied to it through the
-        world-set backend (the structure's worlds are exactly the reachable
-        states, so checker state-sets convert losslessly)."""
+        checker's pinned world-set backend (the structure's worlds are
+        exactly the reachable states, so checker state-sets convert
+        losslessly).  This is the scalar path; epistemic nodes reached
+        through :meth:`extension` are normally resolved in batches by
+        :meth:`_prefetch_epistemic` before evaluation gets here."""
         structure = self.system.structure
-        backend = get_default_backend()
+        backend = self.backend
         inner = backend.from_worlds(structure, self.extension(formula.operand))
         result = apply_epistemic(backend, structure, formula, inner)
         # Restrict to the checker's states: a duck-typed system may expose a
         # knowledge structure over more worlds than the checked state space.
         return backend.to_frozenset(structure, result) & self._state_set
+
+    def _prefetch_epistemic(self, formula):
+        """Resolve the uncached epistemic nodes of the formula DAG in batched
+        backend calls, innermost modalities first.
+
+        Each pass collects the epistemic nodes whose (uncached part of the)
+        operand contains no further epistemic node — their operands, temporal
+        or not, can be evaluated without any epistemic dispatch — groups them
+        by ``(operator, agent/group)``, and applies each group through one
+        ``*_many`` backend call.  Results land in the checker cache, so the
+        subsequent :meth:`_evaluate` walk finds every epistemic extension
+        precomputed."""
+        structure = self.system.structure
+        backend = self.backend
+        is_cached = self._cache.__contains__
+        while True:
+            groups = {}
+            collect_ready_epistemic(formula, is_cached, groups, {})
+            if not groups:
+                return
+            for nodes in groups.values():
+                inners = [
+                    backend.from_worlds(structure, self.extension(node.operand))
+                    for node in nodes
+                ]
+                results = apply_epistemic_many(backend, structure, nodes, inners)
+                for node, result in zip(nodes, results):
+                    self._cache[node] = (
+                        backend.to_frozenset(structure, result) & self._state_set
+                    )
 
     # -- fixed points -------------------------------------------------------------------
 
@@ -307,15 +362,33 @@ class CTLKModelChecker:
         return result
 
     def _greatest_fixpoint_eg(self, hold):
-        """Greatest fixed point for ``EG hold``."""
+        """Greatest fixed point for ``EG hold`` by successor-count deletion.
+
+        Each candidate state tracks how many of its successors are still in
+        the candidate set; a state whose count hits zero cannot start an
+        infinite ``hold`` path and is deleted, decrementing the counts of its
+        predecessors inside the set.  Every edge is examined at most twice
+        (once to initialise the counts, at most once on deletion), so the
+        fixed point is linear in the transition relation — the previous
+        implementation rescanned the whole candidate set until stable, which
+        is quadratic on chain-shaped systems.
+        """
         result = set(hold)
-        changed = True
-        while changed:
-            changed = False
-            for state in list(result):
-                if not (self._successors[state] & result):
-                    result.discard(state)
-                    changed = True
+        counts = {}
+        dead = []
+        for state in result:
+            count = sum(1 for successor in self._successors[state] if successor in result)
+            counts[state] = count
+            if not count:
+                dead.append(state)
+        while dead:
+            state = dead.pop()
+            result.discard(state)
+            for predecessor in self._predecessors[state]:
+                if predecessor in result:
+                    counts[predecessor] -= 1
+                    if not counts[predecessor]:
+                        dead.append(predecessor)
         return result
 
 

@@ -219,6 +219,126 @@ class TestBackendEquivalence:
             )
 
 
+class TestBatchedEvaluation:
+    """`Evaluator.extensions` and the backend ``*_many`` operators must agree
+    with the scalar path on every backend — including the generic
+    scalar-loop fallback used by bitset/frozenset."""
+
+    @all_backends
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_extensions_match_per_formula_extension(self, backend_name, seed):
+        rng = random.Random(seed)
+        structure = random_structure(rng)
+        formulas = formula_suite(structure.agents)
+        batched = Evaluator(structure, backend_by_name(backend_name)).extensions(
+            formulas
+        )
+        scalar = Evaluator(structure, backend_by_name(backend_name))
+        assert batched == [scalar.extension(formula) for formula in formulas]
+        reference = Evaluator(structure, FrozensetBackend())
+        assert batched == [reference.extension(formula) for formula in formulas]
+
+    @all_backends
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_batch_operators_agree_with_scalar(self, backend_name, seed):
+        rng = random.Random(seed)
+        structure = random_structure(rng)
+        backend = backend_by_name(backend_name)
+        inner_worlds = [
+            frozenset(w for w in structure.worlds if rng.random() < 0.5)
+            for _ in range(4)
+        ]
+        inners = [backend.from_worlds(structure, worlds) for worlds in inner_worlds]
+        agent = structure.agents[0]
+        group = structure.agents
+        cases = [
+            (backend.knows_many(structure, agent, inners), backend.knows, (agent,)),
+            (
+                backend.possible_many(structure, agent, inners),
+                backend.possible,
+                (agent,),
+            ),
+            (
+                backend.everyone_knows_many(structure, group, inners),
+                backend.everyone_knows,
+                (group,),
+            ),
+            (
+                backend.common_knows_many(structure, group, inners),
+                backend.common_knows,
+                (group,),
+            ),
+            (
+                backend.distributed_knows_many(structure, group, inners),
+                backend.distributed_knows,
+                (group,),
+            ),
+        ]
+        for batched, scalar, args in cases:
+            assert len(batched) == len(inners)
+            for result, inner in zip(batched, inners):
+                expected = scalar(structure, *args, inner)
+                assert backend.to_frozenset(structure, result) == backend.to_frozenset(
+                    structure, expected
+                ), f"{scalar.__name__} disagrees on backend {backend_name!r}"
+
+    @all_backends
+    def test_empty_batch_returns_empty_list(self, backend_name, two_agent_structure):
+        backend = backend_by_name(backend_name)
+        assert backend.knows_many(two_agent_structure, "a", []) == []
+        assert backend.possible_many(two_agent_structure, "a", []) == []
+        assert backend.common_knows_many(two_agent_structure, ("a", "b"), []) == []
+
+    @all_backends
+    def test_extensions_reuses_and_fills_the_cache(
+        self, backend_name, two_agent_structure
+    ):
+        evaluator = Evaluator(two_agent_structure, backend_by_name(backend_name))
+        formulas = [Knows("a", Prop("p")), Knows("a", Prop("q"))]
+        results = evaluator.extensions(formulas)
+        assert all(formula in evaluator.cache for formula in formulas)
+        # A second batched call (and the scalar path) answer from the cache.
+        assert evaluator.extensions(formulas) == results
+        assert [evaluator.extension(formula) for formula in formulas] == results
+
+    def test_same_relation_operands_share_one_batch_call(self, two_agent_structure):
+        calls = []
+
+        class CountingBackend(FrozensetBackend):
+            name = "counting"
+
+            def knows_many(self, structure, agent, inners):
+                calls.append((agent, len(inners)))
+                return super().knows_many(structure, agent, inners)
+
+        evaluator = Evaluator(two_agent_structure, CountingBackend())
+        # Three K[a] nodes at the innermost level batch into one call; the
+        # nested K[a] on top of one of them forms a second level (its operand
+        # must be resolved first), hence a second call.
+        formulas = [
+            Knows("a", Prop("p")),
+            Knows("a", Prop("q")),
+            Knows("a", Knows("a", Prop("p"))),
+            Knows("b", Prop("p")),
+        ]
+        evaluator.extensions(formulas)
+        # The shared subformula K[a] p is hash-consed: it lands in exactly one
+        # batch even though two input formulas contain it.
+        assert [count for agent, count in calls if agent == "a"] == [2, 1]
+        assert [count for agent, count in calls if agent == "b"] == [1]
+
+    def test_extensions_handles_shared_and_duplicate_formulas(
+        self, two_agent_structure
+    ):
+        evaluator = evaluator_for(two_agent_structure)
+        formula = Knows("a", Prop("p"))
+        results = evaluator.extensions([formula, formula, Prop("p")])
+        assert results[0] == results[1] == evaluator.extension(formula)
+        assert results[2] == evaluator.extension(Prop("p"))
+
+
 class TestWorldIndexing:
     def test_dense_index_follows_construction_order(self, two_agent_structure):
         for expected, world in enumerate(two_agent_structure.worlds):

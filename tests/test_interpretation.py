@@ -12,6 +12,8 @@ from repro.interpretation import (
     depends_on_past,
     derive_protocol,
     enumerate_implementations,
+    guard_holds_at_local,
+    guard_table,
     implements,
     iterate_interpretation,
     liberal_protocol,
@@ -21,7 +23,7 @@ from repro.interpretation import (
 )
 from repro.logic import parse
 from repro.programs import AgentProgram, Clause, KnowledgeBasedProgram
-from repro.protocols import bit_transmission, variable_setting
+from repro.protocols import bit_transmission, muddy_children, variable_setting
 from repro.systems import represent
 from repro.systems.actions import NOOP_NAME
 from repro.util.errors import InterpretationError
@@ -120,6 +122,141 @@ class TestFunctional:
         view = StateSetView(vs_context, vs_context.initial_states)
         with pytest.raises(InterpretationError):
             derive_protocol(program, view)
+
+
+class TestGuardTable:
+    """The batched guards x local-class table must agree with the scalar
+    :func:`guard_holds_at_local` path on every (agent, local state, clause)
+    triple — non-local guards included."""
+
+    def _assert_agrees(self, view, program, require_local=True):
+        table = guard_table(view, program)
+        checked = 0
+        for agent_program in program:
+            agent = agent_program.agent
+            for local_state in view.local_states(agent):
+                for clause in agent_program.clauses:
+                    expected = guard_holds_at_local(
+                        view, agent, local_state, clause.guard,
+                        require_local=require_local,
+                    )
+                    actual = table.holds(
+                        agent, local_state, clause.guard,
+                        require_local=require_local,
+                    )
+                    assert actual == expected, (agent, local_state, clause.guard)
+                    checked += 1
+        assert checked > 0
+
+    def test_agrees_on_bit_transmission_system(self, bt_solution):
+        self._assert_agrees(bt_solution.system, bit_transmission.program())
+
+    def test_agrees_on_bit_transmission_full_state_space(self):
+        context = bit_transmission.context()
+        view = StateSetView(context, context.spec.state_space.all_states())
+        self._assert_agrees(view, bit_transmission.program())
+
+    def test_agrees_on_muddy_children(self):
+        result = muddy_children.solve(2)
+        assert result.converged
+        self._assert_agrees(result.system, muddy_children.program(2))
+
+    def test_non_local_guard_three_valued(self):
+        # A bare `sbit` guard is local to the sender (who observes the bit)
+        # but non-local to the receiver over the full state space, where both
+        # bit values share every receiver-local state.
+        context = bit_transmission.context()
+        view = StateSetView(context, context.spec.state_space.all_states())
+        program = KnowledgeBasedProgram(
+            [
+                AgentProgram("S", [Clause(parse("sbit"), "send_ok")]),
+                AgentProgram("R", [Clause(parse("sbit"), "ack_ok")]),
+            ]
+        )
+        table = guard_table(view, program)
+        guard = parse("sbit")
+        for local_state in view.local_states("S"):
+            assert table.value("S", local_state, guard) in (True, False)
+        for local_state in view.local_states("R"):
+            assert table.value("R", local_state, guard) is None
+            with pytest.raises(InterpretationError):
+                table.holds("R", local_state, guard)
+            assert table.holds("R", local_state, guard, require_local=False) is True
+        self._assert_agrees(view, program, require_local=False)
+
+    def test_unknown_local_state_raises(self, bt_solution):
+        table = guard_table(bt_solution.system, bit_transmission.program())
+        with pytest.raises(InterpretationError):
+            table.value("S", "no-such-local-state", parse("sbit"))
+
+    def test_table_is_memoised_per_view_and_program(self, bt_solution):
+        program = bit_transmission.program()
+        first = guard_table(bt_solution.system, program)
+        assert guard_table(bt_solution.system, program) is first
+        # A structurally identical but distinct program object gets its own
+        # table (identity keying: programs are mutable containers).
+        assert guard_table(bt_solution.system, bit_transmission.program()) is not first
+
+    def test_evaluator_less_view_falls_back_to_frozensets(self, bt_solution):
+        system = bt_solution.system
+
+        class DuckView:
+            """A view exposing only the minimal protocol, no evaluator."""
+
+            context = system.context
+
+            @property
+            def states(self):
+                return system.states
+
+            def extension(self, formula):
+                return system.extension(formula)
+
+            def local_states(self, agent):
+                return system.local_states(agent)
+
+            def states_with_local_state(self, agent, local_state):
+                # Deliberately a list, not a set: duck views may return any
+                # iterable of states (regression: the frozenset fallback used
+                # to apply set operators to it directly).
+                return list(system.states_with_local_state(agent, local_state))
+
+        program = bit_transmission.program()
+        duck_table = guard_table(DuckView(), program)
+        reference = guard_table(system, program)
+        for agent_program in program:
+            agent = agent_program.agent
+            for local_state in system.local_states(agent):
+                for clause in agent_program.clauses:
+                    assert duck_table.value(
+                        agent, local_state, clause.guard
+                    ) == reference.value(agent, local_state, clause.guard)
+
+    def test_program_agents_outside_the_context_are_ignored(self, bt_solution):
+        # Regression: the functional only consults context agents, so a
+        # program mentioning an extra agent (whose guards may refer to
+        # relations the view's structure does not carry) must still derive —
+        # the batched pass used to evaluate every program guard eagerly and
+        # raise ModelError on the unknown agent.
+        program = KnowledgeBasedProgram(
+            [
+                AgentProgram("S", [Clause(parse("!K[S] ack"), "send_ok")]),
+                AgentProgram("X", [Clause(parse("K[X] sbit"), "send_ok")]),
+            ]
+        )
+        protocol = derive_protocol(program, bt_solution.system)
+        for local_state in bt_solution.system.local_states("S"):
+            assert protocol.actions("S", local_state)
+
+    def test_ad_hoc_guard_outside_the_program(self, bt_solution):
+        # Querying a guard the program never mentions goes through the same
+        # uniformity logic (lazily evaluated and memoised).
+        table = guard_table(bt_solution.system, bit_transmission.program())
+        guard = parse("K[R] sbit | K[R] !sbit")
+        for local_state in bt_solution.system.local_states("R"):
+            assert table.value("R", local_state, guard) == guard_holds_at_local(
+                bt_solution.system, "R", local_state, guard
+            )
 
 
 class TestImplementationRelation:

@@ -1,5 +1,7 @@
 """Tests for CTLK model checking and the analysis helpers."""
 
+import random
+
 import pytest
 
 from repro.analysis import (
@@ -134,6 +136,129 @@ class TestTemporalEpistemic:
         assert not check_reachable(bt_system, parse("ack & !snt"))
 
 
+class TestGreatestFixpointEG:
+    def test_matches_naive_rescan_on_random_candidate_sets(self, counter_system):
+        # The successor-count deletion algorithm must compute the same
+        # greatest fixed point as the (quadratic) rescan-until-stable
+        # formulation it replaced, on arbitrary candidate sets.
+        checker = CTLKModelChecker(counter_system)
+
+        def naive(hold):
+            result = set(hold)
+            changed = True
+            while changed:
+                changed = False
+                for state in list(result):
+                    if not (checker._successors[state] & result):
+                        result.discard(state)
+                        changed = True
+            return result
+
+        rng = random.Random(20260730)
+        states = list(counter_system.states)
+        for density in (0.0, 0.25, 0.5, 0.75, 1.0):
+            for _ in range(10):
+                hold = {state for state in states if rng.random() <= density}
+                assert checker._greatest_fixpoint_eg(hold) == naive(hold)
+
+    def test_eg_chain_without_loops_is_empty(self):
+        # On a pure chain only the (totalised, self-looping) last state can
+        # satisfy EG true-restricted-to-the-chain-prefix.
+        from repro.modeling import StateSpace, ite, ranged, var
+        from repro.systems import JointProtocol, constant_protocol, represent, variable_context
+
+        counter = ranged("x", 0, 5)
+        space = StateSpace([counter])
+        context = variable_context(
+            "chain",
+            space,
+            observables={"a": ["x"]},
+            actions={"a": {"inc": {"x": ite(var(counter) < 5, var(counter) + 1, var(counter))}}},
+            initial=(var(counter) == 0),
+        )
+        system = represent(context, JointProtocol({"a": constant_protocol("a", {"inc"})}))
+        checker = CTLKModelChecker(system)
+        prefix = checker.extension(parse("!(x=5)"))
+        assert checker._greatest_fixpoint_eg(set(prefix)) == set()
+        assert checker.extension(EG(parse("x=5"))) == {
+            state for state in system.states if state["x"] == 5
+        }
+
+
+class TestBackendPinning:
+    def test_checker_pins_backend_at_construction(self, bt_system):
+        from repro.engine import get_default_backend, use_backend
+
+        default_name = get_default_backend().name
+        pinned = "frozenset" if default_name != "frozenset" else "bitset"
+        with use_backend(pinned):
+            checker = CTLKModelChecker(bt_system)
+            inside = checker.extension(bit_transmission.receiver_knows_bit())
+        # The ambient default is restored, but the checker keeps answering
+        # through the backend it was built under — including for formulas
+        # first evaluated *after* the context exited.
+        assert get_default_backend().name == default_name
+        assert checker.backend.name == pinned
+        reference = CTLKModelChecker(bt_system, backend=default_name)
+        assert checker.extension(bit_transmission.receiver_knows_bit()) == inside
+        for name, (formula, expected) in bit_transmission.property_formulas().items():
+            assert checker.valid(formula) == expected, name
+            assert reference.valid(formula) == expected, name
+
+    def test_checker_accepts_backend_parameter(self, bt_system):
+        checker = CTLKModelChecker(bt_system, backend="frozenset")
+        assert checker.backend.name == "frozenset"
+        assert checker.valid(AG(parse("sbit | !sbit")))
+
+    def test_top_level_epistemic_query_is_batched_once(self, bt_system):
+        # Regression: the checker used to prefetch a top-level epistemic
+        # formula through the batched path and then recompute it through the
+        # scalar path, paying the modal image twice.
+        from repro.engine import FrozensetBackend
+        from repro.logic.formula import Knows, Prop
+
+        class CountingBackend(FrozensetBackend):
+            name = "counting"
+
+            def __init__(self):
+                self.many_calls = 0
+                self.scalar_calls = 0
+
+            def knows(self, structure, agent, inner):
+                self.scalar_calls += 1
+                return super().knows(structure, agent, inner)
+
+            def knows_many(self, structure, agent, inners):
+                self.many_calls += 1
+                return [
+                    FrozensetBackend.knows(self, structure, agent, inner)
+                    for inner in inners
+                ]
+
+        backend = CountingBackend()
+        checker = CTLKModelChecker(bt_system, backend=backend)
+        extension = checker.extension(Knows("R", Prop("sbit")))
+        assert extension == CTLKModelChecker(bt_system).extension(
+            Knows("R", Prop("sbit"))
+        )
+        assert backend.many_calls == 1
+        assert backend.scalar_calls == 0
+
+    def test_generated_substructure_accepts_backend_parameter(self):
+        from repro.engine import use_backend
+        from repro.kripke import EpistemicStructure, generated_substructure
+
+        structure = EpistemicStructure(
+            ["u", "v", "w"],
+            {"a": {"u": {"v"}, "v": {"v"}, "w": {"w"}}},
+            {"u": set(), "v": {"p"}, "w": set()},
+        )
+        explicit = generated_substructure(structure, {"u"}, backend="frozenset")
+        with use_backend("frozenset"):
+            ambient = generated_substructure(structure, {"u"})
+        assert set(explicit.worlds) == set(ambient.worlds) == {"u", "v"}
+
+
 class TestAnalysis:
     def test_everyone_knows_level_builder(self):
         formula = everyone_knows_level(Prop("p"), ("a", "b"), 2)
@@ -169,5 +294,64 @@ class TestAnalysis:
             bt_system.states
         )
         # The receiver knows the bit exactly in the four states after a
-        # successful transmission.
+        # successful transmission; on this reflexive (S5) system nothing is
+        # known vacuously.
         assert entry["knows_true"] + entry["knows_false"] == 4
+        assert entry["knows_both"] == 0
+
+    def test_knowledge_census_accepts_one_shot_iterables(self, bt_system):
+        # Regression: the batched warm-up pass used to exhaust a one-shot
+        # `agents` iterable before the counting loop ran, returning {}.
+        census = knowledge_census(
+            bt_system, propositions=iter(["sbit"]), agents=iter(["R"])
+        )
+        reference = knowledge_census(bt_system, propositions=["sbit"], agents=["R"])
+        assert census == reference
+        assert census["R"]["sbit"]["knows_true"] + census["R"]["sbit"]["knows_false"] == 4
+
+    def test_knowledge_census_partitions_on_serial_free_structure(self):
+        # Regression: EpistemicStructure is relation-agnostic, and at a state
+        # with no R_a-successors both K_a p and K_a !p hold vacuously.  Such
+        # states used to be counted in *both* knows buckets, driving the
+        # remainder-based `uncertain` negative; they now land in a separate
+        # `knows_both` bucket and the four buckets partition the states.
+        from repro.engine import evaluator_for
+        from repro.kripke import EpistemicStructure
+
+        structure = EpistemicStructure(
+            ["w0", "w1", "w2"],
+            {"a": {"w0": set(), "w1": {"w1", "w2"}, "w2": {"w1", "w2"}}},
+            {"w0": {"p"}, "w1": {"p"}, "w2": set()},
+        )
+
+        class ShimSystem:
+            def __init__(self, structure):
+                self.structure = structure
+                self.states = structure.worlds
+                self.agents = structure.agents
+                self.evaluator = evaluator_for(structure)
+
+            def extension(self, formula):
+                return self.evaluator.extension(formula)
+
+        census = knowledge_census(ShimSystem(structure))
+        entry = census["a"]["p"]
+        assert all(count >= 0 for count in entry.values()), entry
+        assert sum(entry.values()) == len(structure.worlds)
+        assert entry == {
+            "knows_true": 0,
+            "knows_false": 0,
+            "knows_both": 1,  # the successor-less w0
+            "uncertain": 2,  # w1 and w2 cannot tell each other apart
+        }
+
+        # The extreme case that used to report uncertain == -1: a single
+        # successor-less world satisfies every knowledge formula vacuously.
+        blind_dead = EpistemicStructure(["w"], {"a": {"w": set()}}, {"w": {"p"}})
+        entry = knowledge_census(ShimSystem(blind_dead))["a"]["p"]
+        assert entry == {
+            "knows_true": 0,
+            "knows_false": 0,
+            "knows_both": 1,
+            "uncertain": 0,
+        }
