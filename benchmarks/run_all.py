@@ -108,6 +108,15 @@ def _workloads():
         structure, guards = inputs
         Evaluator(structure, get_default_backend()).extensions(guards)
 
+    from bench_e11_symbolic import muddy_guard_table, muddy_round0_structure
+
+    def e11_setup():
+        return muddy_round0_structure(10)
+
+    def e11_run(structure):
+        entries = muddy_guard_table(structure, 10, get_default_backend())
+        assert sum(1 for entry in entries if entry[2] is True) == 10
+
     return [
         ("e3_muddy_children_solve", e3_setup, e3_run),
         ("e6_fixed_point_chain32", e6_setup, e6_run),
@@ -119,6 +128,7 @@ def _workloads():
         ("e10_guard_eval_batched_256_worlds", e10_setup_256, e10_batched_run),
         ("e10_guard_eval_scalar_1024_worlds", e10_setup_1024, e10_scalar_run),
         ("e10_guard_eval_batched_1024_worlds", e10_setup_1024, e10_batched_run),
+        ("e11_muddy_guard_table_n10", e11_setup, e11_run),
     ]
 
 

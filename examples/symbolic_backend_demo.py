@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The symbolic (BDD) world-set backend, end to end.
+
+This demo builds the two-agent observability grid at 4096 worlds, evaluates
+a nested knowledge formula through the ``"bdd"`` backend and through the
+explicit bitset engine, and then peeks under the hood of the symbolic
+subsystem: how large the relation BDDs actually are (spoiler: tiny —
+observational indistinguishability over index bits compresses extremely
+well), what the shared apply caches look like, and how
+``Evaluator.cache_info()`` / ``clear_cache()`` keep a long-lived evaluator
+observable and boundable.
+
+Run with::
+
+    python examples/symbolic_backend_demo.py
+"""
+
+import time
+
+from repro.engine import Evaluator, backend_by_name
+from repro.kripke import structure_from_labels
+from repro.logic import parse
+from repro.symbolic import encoding_for
+
+
+def grid_structure(bits):
+    """2^bits worlds; agent ``a`` observes the even bits, ``b`` the odd."""
+    labelling = {
+        w: {f"b{i}" for i in range(bits) if (w >> i) & 1} for w in range(2**bits)
+    }
+    observables = {
+        "a": {f"b{i}" for i in range(0, bits, 2)},
+        "b": {f"b{i}" for i in range(1, bits, 2)},
+    }
+    return structure_from_labels(labelling, observables)
+
+
+def main():
+    bits = 12
+    structure = grid_structure(bits)
+    formula = parse("K[a] b0 & !K[a] b1 & M[b] (b1 & !b0)")
+    print(f"structure: {structure!r}")
+    print(f"formula:   {formula}")
+
+    results = {}
+    for name in ("bdd", "bitset"):
+        start = time.perf_counter()
+        results[name] = Evaluator(structure, backend_by_name(name)).extension(formula)
+        cold = (time.perf_counter() - start) * 1000
+        # A second, fresh evaluator: the per-structure derived data
+        # (relation BDDs / bitmask arrays) is now memoised, which is what
+        # repeated queries — the interpretation inner loop — pay.
+        start = time.perf_counter()
+        Evaluator(structure, backend_by_name(name)).extension(formula)
+        warm = (time.perf_counter() - start) * 1000
+        print(
+            f"  {name:<8} |extension| = {len(results[name])}  "
+            f"(cold {cold:8.2f} ms, warm {warm:6.2f} ms)"
+        )
+    assert results["bdd"] == results["bitset"]
+
+    # -- under the hood ---------------------------------------------------------
+    encoding = encoding_for(structure)
+    print(f"\nencoding:  {encoding!r}")
+    print(f"  {2 * encoding.bits} BDD variables for {len(structure)} worlds")
+    for agent in structure.agents:
+        relation = encoding.agent_relation(agent)
+        print(
+            f"  relation of {agent!r}: {encoding.bdd.size(relation)} nodes "
+            f"for a {len(structure)}x{len(structure)} relation"
+        )
+
+    evaluator = Evaluator(structure, backend_by_name("bdd"))
+    evaluator.extension(formula)
+    info = evaluator.cache_info()
+    print(f"\ncache_info after one evaluation: {info}")
+    evaluator.clear_cache()
+    print(f"cache_info after clear_cache:    {evaluator.cache_info()}")
+    # Node ids survive a clear (only the recomputable memos were dropped):
+    assert evaluator.extension(formula) == results["bdd"]
+    print("\nre-evaluation after clearing agrees — caches are safe to drop.")
+
+
+if __name__ == "__main__":
+    main()

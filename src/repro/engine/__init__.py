@@ -16,7 +16,12 @@ analysis (:mod:`repro.analysis.common_knowledge`), CTLK model checking
   explicit ``frozenset`` evaluation and serves as the semantic baseline;
 * :class:`~repro.engine.matrix.MatrixBackend` (``"matrix"``) vectorises the
   epistemic operators as NumPy boolean matrix algebra; it is loaded lazily
-  and only listed by :func:`available_backends` when NumPy is importable.
+  and only listed by :func:`available_backends` when NumPy is importable;
+* :class:`~repro.symbolic.backend_bdd.SymbolicBackend` (``"bdd"``)
+  represents world-sets as ROBDDs over a ``ceil(log2 |W|)``-variable
+  encoding (:mod:`repro.symbolic`) and the epistemic operators as
+  relational products and BDD fixed points; pure Python, always available,
+  with cost scaling in BDD size rather than world count.
 
 The backend set is open: :func:`register_backend` registers a factory under
 a name, optionally gated on an availability predicate, and every consumer

@@ -22,7 +22,7 @@ the handful of primitive operations the evaluator needs:
   backends whose representation allows it (the matrix backend) override
   them with a true multi-operand pass.
 
-Three backends ship with the library:
+Four backends ship with the library:
 
 :class:`FrozensetBackend`
     Represents a world-set as a ``frozenset`` of world identifiers and
@@ -43,6 +43,15 @@ Three backends ship with the library:
     are vectorised matrix products with no per-world Python loop.  It is
     registered lazily and gated on NumPy being importable — this module
     never imports NumPy itself.
+
+:class:`repro.symbolic.backend_bdd.SymbolicBackend`
+    The symbolic backend (``"bdd"``): world-sets as ROBDD nodes over a
+    ``ceil(log2 |W|)``-variable encoding of the dense world index, modal
+    operators as relational products against relation BDDs, group/common
+    knowledge and reachability as BDD fixed points.  Its cost scales with
+    BDD size rather than ``|W|``, and the kernel is pure Python, so the
+    backend is always available (registered lazily, no optional
+    dependency).
 
 Backends are registered through :func:`register_backend`, which takes a
 *factory* (instantiated on first request) and an optional availability
@@ -285,6 +294,25 @@ class SetBackend:
         """Closure of ``start_worlds`` under the union of the given agents'
         relations (all agents by default), including the start worlds."""
         raise NotImplementedError
+
+    # -- observability -----------------------------------------------------------------
+
+    def cache_info(self, structure):
+        """Sizes of the backend's per-structure caches, as a dict.
+
+        The default backends keep only derived data that is proportional to
+        the structure (masks, matrices) and report nothing; backends with
+        *operation* caches that grow with use — the BDD backend's shared
+        ``ite``/apply memo tables — override this so long-lived evaluators
+        are observable (see :meth:`Evaluator.cache_info`)."""
+        return {}
+
+    def clear_cache(self, structure):
+        """Drop the backend's recomputable per-structure operation caches.
+
+        A no-op by default; the BDD backend clears its manager's operation
+        memos (never the unique table, so world-set values stay valid).
+        Never required for correctness."""
 
     def __repr__(self):
         return f"{type(self).__name__}()"
@@ -660,8 +688,18 @@ def _matrix_factory():
     return MatrixBackend()
 
 
+def _bdd_factory():
+    # Deferred import: the symbolic subsystem is pure Python (always
+    # available), but its kernel and encoding modules are only loaded when
+    # the backend is first requested.
+    from repro.symbolic.backend_bdd import SymbolicBackend
+
+    return SymbolicBackend()
+
+
 register_backend(FrozensetBackend.name, FrozensetBackend)
 register_backend(BitsetBackend.name, BitsetBackend)
 register_backend("matrix", _matrix_factory, available=_numpy_available)
+register_backend("bdd", _bdd_factory)
 
 _default_backend = backend_by_name(os.environ.get("REPRO_SET_BACKEND", BitsetBackend.name))

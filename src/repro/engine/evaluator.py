@@ -131,10 +131,29 @@ class Evaluator:
                     self.cache[node] = result
         return [self.extension_ws(formula) for formula in formulas]
 
+    def cache_info(self):
+        """Sizes of the evaluator's memoisation layers, as a dict.
+
+        ``formulas`` counts cached subformula extensions (in backend
+        representation), ``frozensets`` the materialised frozenset results;
+        ``backend`` is the backend's own per-structure operation-cache
+        report (:meth:`SetBackend.cache_info` — the shared BDD apply caches
+        for the ``"bdd"`` backend, empty for backends without operation
+        caches).  Together with :meth:`clear_cache` this makes long-lived
+        evaluators observable and boundable.
+        """
+        return {
+            "formulas": len(self.cache),
+            "frozensets": len(self._frozen),
+            "backend": self.backend.cache_info(self.structure),
+        }
+
     def clear_cache(self):
-        """Drop all memoised extensions (never required for correctness)."""
+        """Drop all memoised extensions, and the backend's recomputable
+        operation caches (never required for correctness)."""
         self.cache.clear()
         self._frozen.clear()
+        self.backend.clear_cache(self.structure)
 
     # -- evaluation --------------------------------------------------------------
 

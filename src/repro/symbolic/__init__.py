@@ -1,0 +1,36 @@
+"""The symbolic evaluation subsystem: a pure-Python ROBDD kernel and the
+``"bdd"`` world-set backend built on it.
+
+Three layers:
+
+* :mod:`repro.symbolic.bdd` — a self-contained ROBDD kernel (hash-consed
+  unique table, memoised ``ite``/apply, restrict, quantification, renaming,
+  the combined relational product ``and_exists``, satisfying-set counting
+  and enumeration) with no third-party dependency;
+* :mod:`repro.symbolic.encode` — the symbolic coding of an
+  :class:`~repro.kripke.structure.EpistemicStructure`: worlds as boolean
+  vectors over ``ceil(log2 |W|)`` variables (current copies above primed
+  copies), accessibility as relation BDDs, all memoised per structure in
+  ``structure.engine_cache``;
+* :mod:`repro.symbolic.backend_bdd` — :class:`SymbolicBackend`, the
+  :class:`~repro.engine.backend.SetBackend` implementation registered as
+  ``"bdd"``, whose cost scales with BDD size rather than ``|W|``.
+
+The backend is registered lazily by :mod:`repro.engine.backend`; importing
+this package directly is only needed to use the kernel or the encoding on
+their own.
+"""
+
+from repro.symbolic.bdd import BDD, FALSE, TRUE
+from repro.symbolic.encode import SymbolicEncoding, encoding_for
+from repro.symbolic.backend_bdd import SymbolicBackend, SymbolicWorldSet
+
+__all__ = [
+    "BDD",
+    "FALSE",
+    "TRUE",
+    "SymbolicEncoding",
+    "encoding_for",
+    "SymbolicBackend",
+    "SymbolicWorldSet",
+]

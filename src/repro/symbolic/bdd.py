@@ -1,0 +1,429 @@
+"""A self-contained pure-Python ROBDD kernel.
+
+A :class:`BDD` manager owns a universe of boolean variables identified by
+*levels* ``0 .. num_vars - 1`` (level 0 is tested first on every path) and
+represents boolean functions over them as reduced ordered binary decision
+diagrams.  Nodes are hash-consed through a unique table, so two structurally
+equal functions are always the *same* integer node id — equality, tautology
+and unsatisfiability checks are id comparisons, which is what the symbolic
+world-set backend's fixed points rely on.
+
+The kernel provides:
+
+* the Shannon operator :meth:`BDD.ite` (if-then-else), memoised, from which
+  all binary connectives (:meth:`and_`, :meth:`or_`, :meth:`xor`,
+  :meth:`implies`, :meth:`iff`, :meth:`diff`) and negation (:meth:`not_`)
+  derive;
+* cofactor :meth:`restrict` and existential/universal quantification
+  (:meth:`exists`, :meth:`forall`) over arbitrary level sets;
+* order-preserving variable renaming (:meth:`rename`) — the
+  unprimed ↔ primed swap of the relational encodings;
+* the combined relational product :meth:`and_exists`
+  (``exists L. f & g`` in one pass, the workhorse of image computation);
+* satisfying-assignment counting (:meth:`sat_count`) and path enumeration
+  (:meth:`sat_all`) over the fixed variable order, plus point evaluation
+  (:meth:`evaluate`).
+
+Everything is plain Python — no third-party dependency — so the ``"bdd"``
+world-set backend built on top of this module is always available, unlike
+the NumPy-gated ``"matrix"`` backend.
+
+Complement edges are deliberately omitted: negation is a memoised ``ite``
+against the terminals, which keeps node identity simple (one id per
+function, not per function-up-to-polarity) at the cost of some sharing.
+
+Two memoisation layers exist and are observable through
+:meth:`cache_info`: the *unique table* (structural identity of nodes; never
+cleared, node ids stay valid for the manager's lifetime) and the *operation
+caches* (``ite`` and quantify/rename/count memos), which
+:meth:`clear_operation_caches` drops without invalidating any node id —
+that is the "boundable" half a long-lived evaluator can safely release.
+"""
+
+from repro.util.errors import EngineError
+
+FALSE = 0
+TRUE = 1
+
+
+class BDD:
+    """A manager for ROBDDs over a fixed number of ordered variables.
+
+    Node ids are small integers private to one manager; the terminals are
+    ``FALSE == 0`` and ``TRUE == 1``.  All operations are memoised in the
+    manager, so repeated subcomputations — within one call or across a whole
+    batch of calls — are paid for once.
+    """
+
+    __slots__ = ("num_vars", "_level", "_low", "_high", "_unique", "_ite_cache", "_op_cache")
+
+    def __init__(self, num_vars):
+        if num_vars < 0:
+            raise EngineError("a BDD manager needs a non-negative variable count")
+        self.num_vars = num_vars
+        # Terminals live below every variable: their level is ``num_vars``.
+        self._level = [num_vars, num_vars]
+        self._low = [-1, -1]
+        self._high = [-1, -1]
+        self._unique = {}
+        self._ite_cache = {}
+        self._op_cache = {}
+
+    # -- node primitives ---------------------------------------------------------
+
+    def _node(self, level, low, high):
+        """Return the (hash-consed) node ``(level, low, high)``; reduced —
+        a node whose branches coincide is its branch.
+
+        The order invariant (children test strictly deeper levels) is
+        enforced here rather than assumed: a violation silently corrupts
+        every diagram sharing the node, so it must be impossible."""
+        if low == high:
+            return low
+        if self._level[low] <= level or self._level[high] <= level:
+            raise EngineError(
+                f"variable-order violation: node at level {level} over children "
+                f"at levels {self._level[low]}/{self._level[high]}"
+            )
+        key = (level, low, high)
+        found = self._unique.get(key)
+        if found is None:
+            found = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = found
+        return found
+
+    def var(self, level):
+        """The function of the single variable at ``level``."""
+        self._check_level(level)
+        return self._node(level, FALSE, TRUE)
+
+    def nvar(self, level):
+        """The negation of the variable at ``level``."""
+        self._check_level(level)
+        return self._node(level, TRUE, FALSE)
+
+    def _check_level(self, level):
+        if not 0 <= level < self.num_vars:
+            raise EngineError(
+                f"variable level {level!r} out of range [0, {self.num_vars})"
+            )
+
+    def level_of(self, u):
+        """The level tested at node ``u`` (``num_vars`` for the terminals)."""
+        return self._level[u]
+
+    def low(self, u):
+        """The else-branch of node ``u``."""
+        return self._low[u]
+
+    def high(self, u):
+        """The then-branch of node ``u``."""
+        return self._high[u]
+
+    def _cofactors(self, u, level):
+        """Both cofactors of ``u`` with respect to the variable at ``level``
+        (``u`` itself twice when ``u`` does not test that level)."""
+        if self._level[u] == level:
+            return self._low[u], self._high[u]
+        return u, u
+
+    # -- ite and the derived connectives -------------------------------------------
+
+    def ite(self, f, g, h):
+        """The Shannon operator ``if f then g else h``, memoised."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g], self._level[h])
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        h0, h1 = self._cofactors(h, level)
+        result = self._node(level, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._ite_cache[key] = result
+        return result
+
+    def not_(self, f):
+        return self.ite(f, FALSE, TRUE)
+
+    def and_(self, f, g):
+        return self.ite(f, g, FALSE)
+
+    def or_(self, f, g):
+        return self.ite(f, TRUE, g)
+
+    def xor(self, f, g):
+        return self.ite(f, self.not_(g), g)
+
+    def implies(self, f, g):
+        return self.ite(f, g, TRUE)
+
+    def iff(self, f, g):
+        return self.ite(f, g, self.not_(g))
+
+    def diff(self, f, g):
+        """Set difference ``f & !g``."""
+        return self.ite(f, self.not_(g), FALSE)
+
+    # -- cofactor and quantification -------------------------------------------------
+
+    def restrict(self, u, level, value):
+        """The cofactor of ``u`` with the variable at ``level`` fixed to
+        ``value``."""
+        self._check_level(level)
+        return self._restrict(u, level, bool(value))
+
+    def _restrict(self, u, level, value):
+        node_level = self._level[u]
+        if node_level > level:
+            return u
+        if node_level == level:
+            return self._high[u] if value else self._low[u]
+        key = ("restrict", u, level, value)
+        cached = self._op_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._node(
+            node_level,
+            self._restrict(self._low[u], level, value),
+            self._restrict(self._high[u], level, value),
+        )
+        self._op_cache[key] = result
+        return result
+
+    def _normalize_levels(self, levels):
+        levels = tuple(sorted(set(levels)))
+        for level in levels:
+            self._check_level(level)
+        return levels
+
+    def exists(self, u, levels):
+        """Existential quantification of ``u`` over the variables at
+        ``levels``."""
+        levels = self._normalize_levels(levels)
+        if not levels:
+            return u
+        return self._exists(u, levels)
+
+    def _exists(self, u, levels):
+        node_level = self._level[u]
+        if node_level > levels[-1]:
+            return u
+        key = ("exists", u, levels)
+        cached = self._op_cache.get(key)
+        if cached is not None:
+            return cached
+        low = self._exists(self._low[u], levels)
+        high = self._exists(self._high[u], levels)
+        if node_level in levels:
+            result = self.or_(low, high)
+        else:
+            result = self._node(node_level, low, high)
+        self._op_cache[key] = result
+        return result
+
+    def forall(self, u, levels):
+        """Universal quantification of ``u`` over the variables at
+        ``levels``."""
+        return self.not_(self.exists(self.not_(u), levels))
+
+    def and_exists(self, f, g, levels):
+        """The combined relational product ``exists levels. f & g``.
+
+        Computing the conjunction and the quantification in one recursion
+        never materialises the intermediate ``f & g`` BDD and short-circuits
+        to ``TRUE`` as soon as one quantified branch is satisfiable — the
+        key primitive behind the symbolic backend's modal images.
+        """
+        levels = self._normalize_levels(levels)
+        if not levels:
+            return self.and_(f, g)
+        return self._and_exists(f, g, levels)
+
+    def _and_exists(self, f, g, levels):
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE and g == TRUE:
+            return TRUE
+        if f == TRUE:
+            return self._exists(g, levels)
+        if g == TRUE:
+            return self._exists(f, levels)
+        if f > g:  # conjunction is commutative: canonicalise the cache key
+            f, g = g, f
+        level = min(self._level[f], self._level[g])
+        if level > levels[-1]:
+            return self.and_(f, g)
+        key = ("and_exists", f, g, levels)
+        cached = self._op_cache.get(key)
+        if cached is not None:
+            return cached
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        if level in levels:
+            result = self._and_exists(f0, g0, levels)
+            if result != TRUE:
+                result = self.or_(result, self._and_exists(f1, g1, levels))
+        else:
+            result = self._node(
+                level,
+                self._and_exists(f0, g0, levels),
+                self._and_exists(f1, g1, levels),
+            )
+        self._op_cache[key] = result
+        return result
+
+    # -- renaming ---------------------------------------------------------------------
+
+    def rename(self, u, mapping):
+        """Rename the variables of ``u`` according to ``mapping``.
+
+        ``mapping`` is a sequence of ``(old_level, new_level)`` pairs (or a
+        dict).  The mapping must be *order-preserving* on the support of
+        ``u`` — relative variable order may not change, which the
+        unprimed ↔ primed swaps of interleaved relational encodings satisfy
+        by construction.  A violation is detected and raised rather than
+        silently producing a mis-ordered diagram.
+        """
+        if isinstance(mapping, dict):
+            mapping = tuple(sorted(mapping.items()))
+        else:
+            mapping = tuple(mapping)
+        for old, new in mapping:
+            self._check_level(old)
+            self._check_level(new)
+        return self._rename(u, mapping, dict(mapping))
+
+    def _rename(self, u, mapping, mapping_dict):
+        if u <= TRUE:
+            return u
+        key = ("rename", u, mapping)
+        cached = self._op_cache.get(key)
+        if cached is not None:
+            return cached
+        node_level = self._level[u]
+        new_level = mapping_dict.get(node_level, node_level)
+        low = self._rename(self._low[u], mapping, mapping_dict)
+        high = self._rename(self._high[u], mapping, mapping_dict)
+        if self._level[low] <= new_level or self._level[high] <= new_level:
+            raise EngineError(
+                f"rename mapping {mapping!r} is not order-preserving on the "
+                f"support of node {u} (level {node_level} -> {new_level})"
+            )
+        result = self._node(new_level, low, high)
+        self._op_cache[key] = result
+        return result
+
+    # -- evaluation, counting, enumeration ----------------------------------------------
+
+    def evaluate(self, u, assignment):
+        """Evaluate ``u`` at a point.  ``assignment`` maps levels to truth
+        values (a dict, or a sequence indexed by level)."""
+        while u > TRUE:
+            if assignment[self._level[u]]:
+                u = self._high[u]
+            else:
+                u = self._low[u]
+        return u == TRUE
+
+    def sat_count(self, u):
+        """The number of satisfying assignments of ``u`` over *all*
+        ``num_vars`` variables of the manager."""
+        return self._sat_count(u) << self._level[u]
+
+    def _sat_count(self, u):
+        # Counts assignments to the variables at levels >= level_of(u).
+        if u <= TRUE:
+            return u
+        key = ("count", u)
+        cached = self._op_cache.get(key)
+        if cached is not None:
+            return cached
+        low, high = self._low[u], self._high[u]
+        level = self._level[u]
+        result = (self._sat_count(low) << (self._level[low] - level - 1)) + (
+            self._sat_count(high) << (self._level[high] - level - 1)
+        )
+        self._op_cache[key] = result
+        return result
+
+    def sat_all(self, u):
+        """Yield the satisfying *paths* of ``u`` as dicts ``level -> bool``.
+
+        Variables absent from a yielded dict are unconstrained (each path
+        stands for ``2 ** missing`` full assignments); enumeration follows
+        the variable order, so the output is deterministic.
+        """
+        if u == FALSE:
+            return
+        if u == TRUE:
+            yield {}
+            return
+        level = self._level[u]
+        for value, child in ((False, self._low[u]), (True, self._high[u])):
+            for partial in self.sat_all(child):
+                path = {level: value}
+                path.update(partial)
+                yield path
+
+    def support(self, u):
+        """The set of levels ``u`` actually depends on."""
+        seen = set()
+        levels = set()
+        stack = [u]
+        while stack:
+            node = stack.pop()
+            if node <= TRUE or node in seen:
+                continue
+            seen.add(node)
+            levels.add(self._level[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return levels
+
+    def size(self, u):
+        """The number of distinct internal nodes reachable from ``u``."""
+        seen = set()
+        stack = [u]
+        while stack:
+            node = stack.pop()
+            if node <= TRUE or node in seen:
+                continue
+            seen.add(node)
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return len(seen)
+
+    # -- observability -----------------------------------------------------------------
+
+    def cache_info(self):
+        """Sizes of the manager's memoisation layers (see module docstring)."""
+        return {
+            "nodes": len(self._level) - 2,
+            "ite_cache": len(self._ite_cache),
+            "op_cache": len(self._op_cache),
+        }
+
+    def clear_operation_caches(self):
+        """Drop the ``ite`` and quantify/rename/count memos.
+
+        The unique table is untouched, so every node id remains valid;
+        subsequent operations just recompute their memo entries.  This is
+        the safe way to bound a long-lived manager's cache footprint.
+        """
+        self._ite_cache.clear()
+        self._op_cache.clear()
+
+    def __repr__(self):
+        return f"BDD(num_vars={self.num_vars}, |nodes|={len(self._level) - 2})"

@@ -392,6 +392,41 @@ class TestEvaluatorCaching:
         evaluator.clear_cache()
         assert not evaluator.cache
 
+    @all_backends
+    def test_cache_info_reports_cache_sizes(self, backend_name, two_agent_structure):
+        evaluator = Evaluator(two_agent_structure, backend_by_name(backend_name))
+        info = evaluator.cache_info()
+        assert info["formulas"] == 0 and info["frozensets"] == 0
+        assert isinstance(info["backend"], dict)
+        formula = Knows("a", Or((Prop("p"), Prop("q"))))
+        evaluator.extension(formula)
+        info = evaluator.cache_info()
+        # K[a](p|q), p|q, p, q all cached; only the queried root materialised.
+        assert info["formulas"] == 4
+        assert info["frozensets"] == 1
+        evaluator.clear_cache()
+        info = evaluator.cache_info()
+        assert info["formulas"] == 0 and info["frozensets"] == 0
+
+    def test_bdd_cache_info_exposes_shared_apply_caches(self, two_agent_structure):
+        evaluator = Evaluator(two_agent_structure, backend_by_name("bdd"))
+        evaluator.extension(Knows("a", Prop("p")))
+        before = evaluator.cache_info()["backend"]
+        assert before["nodes"] > 0
+        assert before["ite_cache"] + before["op_cache"] > 0
+        evaluator.clear_cache()
+        after = evaluator.cache_info()["backend"]
+        # The operation memos are dropped (including the mask codec memos,
+        # which grow with every distinct world-set a long-lived evaluator
+        # touches), the unique table survives, and previously computed
+        # world-set values stay valid.
+        assert after["ite_cache"] == 0 and after["op_cache"] == 0
+        assert after["set_memo"] == 0 and after["mask_memo"] == 0
+        assert after["nodes"] == before["nodes"]
+        reference = Evaluator(two_agent_structure, FrozensetBackend())
+        formula = Knows("a", Prop("p"))
+        assert evaluator.extension(formula) == reference.extension(formula)
+
     def test_holds_validates_world(self, two_agent_structure):
         with pytest.raises(ModelError):
             holds(two_agent_structure, "nope", TRUE)
@@ -457,11 +492,17 @@ class TestLocalGuardValue:
 class TestBackendRegistry:
     def test_builtins_are_registered(self):
         names = available_backends()
-        assert {"bitset", "frozenset"} <= set(names)
+        assert {"bitset", "frozenset", "bdd"} <= set(names)
         assert names == sorted(names)
         assert backend_by_name("bitset").name == "bitset"
         with pytest.raises(EngineError):
-            backend_by_name("bdd")
+            backend_by_name("no-such-backend")
+
+    def test_bdd_backend_needs_no_optional_dependency(self):
+        # The symbolic backend is pure Python: unlike "matrix" it must be
+        # available unconditionally.
+        assert backend_available("bdd")
+        assert backend_by_name("bdd").name == "bdd"
 
     def test_matrix_backend_listed_iff_numpy_importable(self):
         assert "matrix" in registered_backends()
@@ -492,12 +533,23 @@ class TestBackendRegistry:
     def test_duplicate_registration_requires_replace(self):
         register_backend("dummy2", FrozensetBackend)
         try:
-            with pytest.raises(EngineError):
-                register_backend("dummy2", FrozensetBackend)
+            with pytest.raises(EngineError, match="dummy2"):
+                register_backend("dummy2", BitsetBackend)
+            # The rejected re-registration must not have clobbered the
+            # original entry (a typo'd name would otherwise silently swap a
+            # backend out from under its users).
+            assert isinstance(backend_by_name("dummy2"), FrozensetBackend)
             register_backend("dummy2", BitsetBackend, replace=True)
             assert isinstance(backend_by_name("dummy2"), BitsetBackend)
         finally:
             unregister_backend("dummy2")
+
+    def test_builtin_names_are_guarded_against_shadowing(self):
+        # A plugin accidentally reusing a built-in name must be rejected,
+        # not silently replace the engine.
+        for name in ("bitset", "frozenset", "matrix", "bdd"):
+            with pytest.raises(EngineError):
+                register_backend(name, FrozensetBackend)
 
     def test_unavailable_backend_is_hidden_and_refuses_instantiation(self):
         register_backend("phantom", FrozensetBackend, available=lambda: False)
