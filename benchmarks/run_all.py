@@ -32,8 +32,11 @@ from repro.engine import available_backends, use_backend  # noqa: E402
 
 
 def _workloads():
-    """Return ``[(name, setup, run)]``; ``setup`` builds shared inputs once
-    per backend, ``run`` is the timed body."""
+    """Return ``[(name, setup, run)]`` or ``[(name, setup, run, backends)]``
+    entries; ``setup`` builds shared inputs once per backend, ``run`` is the
+    timed body, and the optional ``backends`` tuple restricts the workload
+    to specific backends (for workloads that pin their own engine, like the
+    symbolic construction, measuring them once is enough)."""
     from bench_e7_model_checking import grid_structure
     from repro.engine import Evaluator, get_default_backend
     from repro.interpretation import enumerate_implementations, iterate_interpretation
@@ -117,6 +120,24 @@ def _workloads():
         entries = muddy_guard_table(structure, 10, get_default_backend())
         assert sum(1 for entry in entries if entry[2] is True) == 10
 
+    # E12 — enumeration-free symbolic construction.  The symbolic workloads
+    # pin the "bdd" engine internally (no other engine can avoid
+    # enumeration), so they are measured under that backend only; the
+    # explicit head-to-head partner runs under bitset, the fast explicit
+    # default.
+    from bench_e12_symbolic_construction import EXPECTED_STATES, _check, _solve_symbolic
+
+    def e12_explicit_run(_):
+        result = mc.solve(7)
+        assert result.verified and len(result.system.states) == EXPECTED_STATES[7]
+
+    def e12_symbolic_run_for(n):
+        def run(_):
+            result, _model = _solve_symbolic(n)
+            _check(result, n)
+
+        return run
+
     return [
         ("e3_muddy_children_solve", e3_setup, e3_run),
         ("e6_fixed_point_chain32", e6_setup, e6_run),
@@ -129,6 +150,10 @@ def _workloads():
         ("e10_guard_eval_scalar_1024_worlds", e10_setup_1024, e10_scalar_run),
         ("e10_guard_eval_batched_1024_worlds", e10_setup_1024, e10_batched_run),
         ("e11_muddy_guard_table_n10", e11_setup, e11_run),
+        ("e12_explicit_construct_muddy_n7", e3_setup, e12_explicit_run, ("bitset",)),
+        ("e12_symbolic_construct_muddy_n7", e3_setup, e12_symbolic_run_for(7), ("bdd",)),
+        ("e12_symbolic_construct_muddy_n10", e3_setup, e12_symbolic_run_for(10), ("bdd",)),
+        ("e12_symbolic_construct_muddy_n12", e3_setup, e12_symbolic_run_for(12), ("bdd",)),
     ]
 
 
@@ -143,6 +168,65 @@ def time_workload(setup, run, repeats):
     return best
 
 
+REGRESSION_THRESHOLD = 1.5
+
+
+def _previous_snapshot(output):
+    """The most recent committed ``BENCH_*.json`` snapshot in the repo root
+    (excluding the file being written), or ``None``."""
+    candidates = []
+    for path in REPO_ROOT.glob("BENCH_*.json"):
+        if output is not None and path.resolve() == output.resolve():
+            continue
+        suffix = path.stem.split("_", 1)[1]
+        if suffix.isdigit():
+            candidates.append((int(suffix), path))
+    if not candidates:
+        return None
+    return max(candidates)[1]
+
+
+def check_regressions(results, output):
+    """Warn-only perf guard: compare this run against the latest committed
+    snapshot and report every (benchmark, backend) pair that got more than
+    ``REGRESSION_THRESHOLD``x slower.  Never fails the run — machines and
+    loads differ; the warnings are for the human reading the CI log."""
+    baseline_path = _previous_snapshot(output)
+    if baseline_path is None:
+        print("no previous BENCH_*.json snapshot; skipping regression check", file=sys.stderr)
+        return []
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, ValueError) as error:
+        print(f"cannot read {baseline_path.name}: {error}", file=sys.stderr)
+        return []
+    previous = {
+        (entry["benchmark"], entry["backend"]): entry["seconds"]
+        for entry in baseline.get("results", [])
+    }
+    warnings = []
+    for entry in results:
+        key = (entry["benchmark"], entry["backend"])
+        before = previous.get(key)
+        if before and before > 0 and entry["seconds"] / before > REGRESSION_THRESHOLD:
+            warnings.append(
+                f"PERF WARNING: {key[0]} [{key[1]}] {entry['seconds'] * 1000:.1f} ms "
+                f"vs {before * 1000:.1f} ms in {baseline_path.name} "
+                f"({entry['seconds'] / before:.2f}x)"
+            )
+    if warnings:
+        print(
+            f"\n{len(warnings)} workload(s) slower than {baseline_path.name} "
+            f"(>{REGRESSION_THRESHOLD}x, warn-only):",
+            file=sys.stderr,
+        )
+        for line in warnings:
+            print(f"  {line}", file=sys.stderr)
+    else:
+        print(f"no regressions vs {baseline_path.name}", file=sys.stderr)
+    return warnings
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("-o", "--output", type=Path, default=None, help="write JSON here")
@@ -153,13 +237,22 @@ def main(argv=None):
         default=None,
         help="backends to measure (default: all registered)",
     )
+    parser.add_argument(
+        "--no-regression-check",
+        action="store_true",
+        help="skip the warn-only comparison against the committed snapshot",
+    )
     args = parser.parse_args(argv)
     backends = args.backends or available_backends()
 
     results = []
     for backend_name in backends:
         with use_backend(backend_name):
-            for name, setup, run in _workloads():
+            for entry in _workloads():
+                name, setup, run = entry[:3]
+                only = entry[3] if len(entry) > 3 else None
+                if only is not None and backend_name not in only:
+                    continue
                 seconds = time_workload(setup, run, args.repeats)
                 results.append(
                     {"benchmark": name, "backend": backend_name, "seconds": seconds}
@@ -168,6 +261,9 @@ def main(argv=None):
                     f"  {name:<34} {backend_name:<10} {seconds * 1000:10.3f} ms",
                     file=sys.stderr,
                 )
+
+    if not args.no_regression_check:
+        check_regressions(results, args.output)
 
     summary = {
         "generated": datetime.now(timezone.utc).isoformat(),

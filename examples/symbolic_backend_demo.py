@@ -10,6 +10,12 @@ well), what the shared apply caches look like, and how
 ``Evaluator.cache_info()`` / ``clear_cache()`` keep a long-lived evaluator
 observable and boundable.
 
+The finale leaves every explicit engine behind: the *enumeration-free*
+construction pipeline interprets the muddy-children knowledge-based program
+at 20 children — a state space of ``5.3 * 10^14``, whose 23 million
+reachable states the explicit pipeline could never enumerate — entirely as
+BDDs compiled straight from the variable context, in a few seconds.
+
 Run with::
 
     python examples/symbolic_backend_demo.py
@@ -79,6 +85,55 @@ def main():
     # Node ids survive a clear (only the recomputable memos were dropped):
     assert evaluator.extension(formula) == results["bdd"]
     print("\nre-evaluation after clearing agrees — caches are safe to drop.")
+
+    construction_demo()
+
+
+def construction_demo():
+    """Interpret muddy children at a size no explicit engine can touch."""
+    from repro.interpretation import construct_by_rounds
+    from repro.protocols import muddy_children as mc
+
+    n = 20
+    print(f"\n-- enumeration-free construction: muddy children, n = {n} --")
+    start = time.perf_counter()
+    model = mc.symbolic_model(n)  # compiled from the spec; zero states built
+    program = mc.program(n).check_against_context(model)
+    result = construct_by_rounds(program, model)
+    elapsed = time.perf_counter() - start
+    print(f"state space:      {model.state_space.size():.2e} states")
+    print(f"reachable states: {result.system.state_count():,}")
+    print(f"rounds:           {result.iterations}, verified: {result.verified}")
+    print(f"BDD nodes:        {model.encoding.bdd.cache_info()['nodes']:,}")
+    print(f"wall clock:       {elapsed:.1f} s")
+
+    # The protocol is queryable at any concrete local state: the child who
+    # sees four muddy foreheads and has heard nothing by round 4 says yes.
+    k = 5
+    pattern = [i < k for i in range(n)]
+    state = mc.initial_state_for_pattern(model, pattern)
+    rounds = {}
+    for _ in range(n + 2):
+        pre = state.as_dict()
+        new = dict(pre)
+        for effect in model.env_effects.values():
+            for name, expr in effect.updates.items():
+                new[name] = expr.evaluate(pre)
+        for agent in model.agents:
+            (action,) = result.protocol.actions(agent, model.local_state(agent, state))
+            for name, expr in model.actions[agent][action].effect.updates.items():
+                new[name] = expr.evaluate(pre)
+        state = model.state_space.state(new)
+        for i in range(n):
+            if i not in rounds and state[f"said{i}"]:
+                rounds[i] = state["round"]
+    muddy_round = {rounds[i] for i in range(k)}
+    clean_round = {rounds[i] for i in range(k, n)}
+    print(
+        f"with {k} muddy children: the muddy ones say yes in round "
+        f"{muddy_round.pop()}, the clean ones in round {clean_round.pop()} "
+        f"— the classical solution, at a scale only BDDs reach."
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,234 @@
+"""Enumeration-free round-based interpretation of knowledge-based programs.
+
+:func:`construct_by_rounds_symbolic` is the symbolic twin of
+:func:`repro.interpretation.iteration.construct_by_rounds`: the same
+depth-stratified construction — guards of newly discovered local states are
+evaluated over all states discovered so far, decisions are frozen on first
+appearance, the frontier advances through the protocol-restricted
+transitions — but every set in the loop is a BDD of a
+:class:`repro.symbolic.model.SymbolicContextModel`:
+
+* the *view* of each round is a
+  :class:`~repro.symbolic.model.SymbolicStateSetView` over the accumulated
+  reachable-set BDD, so guard extensions are computed by the ``"bdd"``
+  backend's relational products (batched through the shared evaluator);
+* the *per-local-state decision loop* of the explicit construction becomes
+  one :meth:`~repro.symbolic.model.SymbolicGuardTable.enabled_sets` call
+  per agent per round: guard uniformity over a whole set of
+  indistinguishability classes is two projections per guard, and the frozen
+  protocol is a map ``action -> class BDD`` per agent;
+* the *frontier expansion* is one relational image through the compiled
+  transition relation (:meth:`SymbolicContextModel.successors`).
+
+Nothing enumerates: a round costs BDD operations whose size tracks the
+diagrams, not ``∏|domain|``, which is what lets the construction run on
+contexts whose state space the explicit engines cannot even iterate (muddy
+children at 20 participants has ``≈ 5·10^14`` states; its reachable-set and
+protocol BDDs have a few thousand nodes).
+
+The a-posteriori verification mirrors the explicit path's
+``check_implementation``: the frozen per-round decisions are recomputed
+against the *final* system and compared — equality on every decided class
+is exactly the fixed-point property ``P = Pg^{I_rep(P)}`` on reachable
+local states (and the generated system trivially agrees, being built from
+the same frozen protocol).
+"""
+
+from repro.interpretation.functional import guard_table
+from repro.interpretation.iteration import IterationResult, _fallback_set
+from repro.symbolic.bdd import FALSE
+from repro.systems.protocols import JointProtocol, Protocol
+from repro.util.errors import InterpretationError
+
+__all__ = ["construct_by_rounds_symbolic", "SymbolicSystem"]
+
+
+def construct_by_rounds_symbolic(
+    program,
+    model,
+    max_rounds=1000,
+    require_local=True,
+    verify=True,
+):
+    """Depth-stratified construction over a symbolic context model.
+
+    Returns an :class:`~repro.interpretation.iteration.IterationResult`
+    whose ``system`` is a :class:`SymbolicSystem` (reachable set as a BDD,
+    knowledge queries through the symbolic evaluator) and whose
+    ``protocol`` is a callable-backed joint protocol evaluating the frozen
+    class BDDs at any concrete local state.
+    """
+    for agent in program.agents:
+        program.program(agent)  # validate agents exist in the program
+
+    bdd = model.encoding.bdd
+    seen = model.initial
+    frontier = model.initial
+    decided = {agent: FALSE for agent in model.agents}
+    selection = {agent: {} for agent in model.agents}
+
+    rounds = 0
+    while frontier != FALSE and rounds < max_rounds:
+        rounds += 1
+        view = model.view(seen)
+        # One symbolic guard table per round's view: all clause guards are
+        # evaluated over the accumulated states in one batched engine pass,
+        # and each agent's newly appearing classes are decided at once.
+        table = guard_table(view, program)
+        for agent in model.agents:
+            new_classes = bdd.diff(view.project(agent, frontier), decided[agent])
+            if new_classes == FALSE:
+                continue
+            enabled = table.enabled_sets(agent, new_classes, require_local=require_local)
+            agent_selection = selection[agent]
+            for action, classes in enabled.items():
+                agent_selection[action] = bdd.or_(
+                    agent_selection.get(action, FALSE), classes
+                )
+            decided[agent] = bdd.or_(decided[agent], new_classes)
+        targets = model.successors(frontier, selection)
+        frontier = bdd.diff(targets, seen)
+        seen = bdd.or_(seen, frontier)
+
+    if frontier != FALSE:
+        raise InterpretationError(
+            f"round-by-round construction did not close within {max_rounds} rounds"
+        )
+
+    verified = None
+    if verify:
+        verified = _verify_fixed_point(
+            program, model, seen, decided, selection, require_local
+        )
+    protocol = _materialise_protocol(program, model, selection, decided)
+    system = SymbolicSystem(model, seen, rounds)
+    return IterationResult(
+        converged=bool(verified) if verify else True,
+        protocol=protocol,
+        system=system,
+        iterations=rounds,
+        verified=verified,
+    )
+
+
+def _verify_fixed_point(program, model, seen, decided, selection, require_local):
+    """Recompute every decided class's clause selection against the final
+    system and compare with the frozen decisions — the implementation
+    fixed-point test, per class instead of per local state."""
+    view = model.view(seen)
+    table = guard_table(view, program)
+    bdd = model.encoding.bdd
+    for agent in model.agents:
+        try:
+            final = table.enabled_sets(agent, decided[agent], require_local=require_local)
+        except InterpretationError:
+            return False
+        frozen = selection[agent]
+        for action in set(final) | set(frozen):
+            if final.get(action, FALSE) != frozen.get(action, FALSE):
+                return False
+    return True
+
+
+def _materialise_protocol(program, model, selection, decided):
+    """Wrap the per-agent class BDDs as a standard joint protocol: a lookup
+    evaluates each action's class BDD at the local state's observation
+    point; local states outside the decided classes get the agent's
+    fallback action (the ``fallback_on_unknown`` convention of the explicit
+    construction)."""
+    encoding = model.encoding
+    protocols = {}
+    for agent in model.agents:
+        entries = tuple(
+            (action, node) for action, node in selection[agent].items() if node != FALSE
+        )
+        fallback = _fallback_set(program, agent)
+        decided_node = decided[agent]
+
+        def lookup(local_state, entries=entries, fallback=fallback, decided_node=decided_node):
+            point = dict(local_state)
+            if not encoding.evaluate_node(decided_node, point):
+                return fallback
+            return frozenset(
+                action
+                for action, node in entries
+                if encoding.evaluate_node(node, point)
+            )
+
+        protocols[agent] = Protocol(agent, lookup)
+    return JointProtocol(protocols)
+
+
+class SymbolicSystem:
+    """The system constructed by the symbolic interpretation: the reachable
+    states as a BDD, with knowledge evaluated over them.
+
+    Supports the knowledge-query slice of
+    :class:`repro.systems.interpreted_system.InterpretedSystem` (``holds``,
+    ``extension``, ``local_state``) plus the symbolic accessors
+    (``states_node``, ``state_count``, ``iter_states``,
+    ``extension_node``); run generation and the structural predicates of
+    the explicit class need materialised transitions and are out of scope.
+    """
+
+    def __init__(self, model, states_node, rounds):
+        self.model = model
+        self.context = model
+        self.states_node = states_node
+        self.rounds = rounds
+        self._view = model.view(states_node)
+
+    @property
+    def agents(self):
+        return self.model.agents
+
+    @property
+    def structure(self):
+        return self._view.structure
+
+    @property
+    def evaluator(self):
+        return self._view.evaluator
+
+    def holds(self, state, formula):
+        """Return ``True`` iff ``formula`` holds at the reachable ``state``."""
+        return self._view.holds(state, formula)
+
+    def extension(self, formula):
+        """The extension as a frozenset of states (enumerating boundary)."""
+        return self._view.extension(formula)
+
+    def extension_node(self, formula):
+        """The extension as a world-set BDD (no enumeration)."""
+        return self._view.extension_node(formula)
+
+    def local_state(self, agent, state):
+        return self.model.local_state(agent, state)
+
+    def state_count(self):
+        """The number of reachable states (a BDD count, always cheap)."""
+        return self._view.state_count()
+
+    def iter_states(self):
+        """Enumerate the reachable states (only for small systems)."""
+        return self._view.iter_states()
+
+    def local_states(self, agent):
+        """The local states of ``agent`` over the reachable states
+        (enumerates the agent's classes — boundary API)."""
+        return self._view.local_states(agent)
+
+    def summary(self):
+        """Basic statistics, mirroring ``InterpretedSystem.summary``."""
+        return {
+            "context": self.model.name,
+            "states": self.state_count(),
+            "rounds": self.rounds,
+            "bdd_nodes": self.model.encoding.bdd.cache_info()["nodes"],
+        }
+
+    def __repr__(self):
+        return (
+            f"SymbolicSystem({self.model.name!r}, |S|={self.state_count()}, "
+            f"rounds={self.rounds})"
+        )

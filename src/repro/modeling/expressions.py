@@ -25,7 +25,11 @@ from repro.util.errors import ModelError
 class Expression:
     """Base class of expressions; subclasses are immutable."""
 
-    __slots__ = ()
+    # One lazily-filled slot for the memoised variable support: expressions
+    # are immutable, so the support never changes, and repeated enumeration
+    # (constraint scheduling in ``StateSpace.states``, symbolic compilation)
+    # must not re-walk the tree every time.
+    __slots__ = ("_variables_memo",)
 
     # -- operator overloading ---------------------------------------------------
 
@@ -87,10 +91,21 @@ class Expression:
     # -- core API ----------------------------------------------------------------
 
     def variables(self):
-        """Return the set of :class:`Variable` objects mentioned."""
+        """Return the (frozen) set of :class:`Variable` objects mentioned.
+
+        Memoised per expression: the tree is walked once, after which the
+        cached frozenset is returned — repeated state-space enumeration with
+        the same constraint pays for the walk a single time.
+        """
+        try:
+            return self._variables_memo
+        except AttributeError:
+            pass
         out = set()
         self._collect_variables(out)
-        return out
+        result = frozenset(out)
+        object.__setattr__(self, "_variables_memo", result)
+        return result
 
     def evaluate(self, values):
         """Evaluate the expression given ``values`` (mapping variable *name*

@@ -10,9 +10,19 @@ variables by expressions, used as the effect of program actions.
 
 from itertools import product
 
-from repro.modeling.expressions import Expression, _as_expression, atom_name_for
+from repro.modeling.expressions import BoolOp, Expression, _as_expression, atom_name_for
 from repro.modeling.variables import Variable
 from repro.util.errors import ModelError
+
+
+def _conjuncts(expression):
+    """Flatten the top-level conjunction of a boolean expression."""
+    if isinstance(expression, BoolOp) and expression.op == "and":
+        out = []
+        for operand in expression.operands:
+            out.extend(_conjuncts(operand))
+        return out
+    return [expression]
 
 
 def atom_name(variable, value):
@@ -216,13 +226,99 @@ class StateSpace:
 
     def states(self, constraint=None):
         """Iterate over all states, optionally only those satisfying a
-        boolean :class:`Expression` constraint."""
+        boolean :class:`Expression` constraint.
+
+        Constrained enumeration *prunes*: the constraint is split into its
+        top-level conjuncts, each conjunct is scheduled at the last variable
+        of its support (:meth:`Expression.variables`, memoised), and a
+        partial assignment that already falsifies a scheduled conjunct cuts
+        the whole subtree of combinations extending it.  For constraints
+        that fix or restrict early variables this turns the full
+        ``∏|domain|`` sweep into a walk of the satisfying prefix tree.  The
+        yield order is the same as the unpruned product enumeration.
+
+        Scheduling changes the order conjuncts are *evaluated* in, so a
+        conjunct that raises on some assignments may be reached where the
+        original left-to-right short-circuit would have skipped it; when a
+        scheduled check raises, the affected subtree therefore falls back
+        to evaluating the whole constraint on each full state — the exact
+        pre-pruning semantics, including which error surfaces.  (The one
+        remaining divergence is benign: a state on which the old
+        evaluation would have *raised* can be pruned away by a falsified
+        conjunct scheduled earlier than the raising one.)
+        """
         names = [v.name for v in self._variables]
         domains = [v.domain for v in self._variables]
-        for combo in product(*domains):
-            state = State(dict(zip(names, combo)))
-            if constraint is None or state.satisfies(constraint):
+        if constraint is None:
+            for combo in product(*domains):
+                yield State(dict(zip(names, combo)))
+            return
+        schedule = self._conjunct_schedule(constraint, names)
+        if schedule is None:  # a constant conjunct is false: nothing satisfies
+            return
+        yield from self._pruned_states(names, domains, schedule, constraint, {}, 0)
+
+    @staticmethod
+    def _conjunct_schedule(constraint, names):
+        """Map each top-level conjunct of ``constraint`` to the index of the
+        last variable of its support (where it becomes decidable).
+
+        Returns ``{index: [conjuncts]}``, or ``None`` when a variable-free
+        conjunct already evaluates to false.  Conjuncts mentioning variables
+        outside the space are scheduled at the last variable, so they raise
+        the same :class:`~repro.util.errors.ModelError` as evaluating them
+        on a full state did before pruning existed.
+        """
+        position = {name: index for index, name in enumerate(names)}
+        schedule = {}
+        for conjunct in _conjuncts(constraint):
+            support = conjunct.variables()
+            if not support:
+                if not conjunct.evaluate({}):
+                    return None
+                continue
+            indices = [position.get(v.name) for v in support]
+            last = len(names) - 1 if None in indices else max(indices)
+            if last < 0:  # no variables to schedule under: surface the error now
+                conjunct.evaluate({})
+            schedule.setdefault(last, []).append(conjunct)
+        return schedule
+
+    def _pruned_states(self, names, domains, schedule, constraint, values, depth):
+        if depth == len(names):
+            yield State(dict(values))
+            return
+        name = names[depth]
+        checks = schedule.get(depth, ())
+        for value in domains[depth]:
+            values[name] = value
+            try:
+                keep = all(conjunct.evaluate(values) for conjunct in checks)
+            except Exception:
+                # A scheduled conjunct raised out of its original order:
+                # re-enumerate this subtree with the exact semantics.
+                yield from self._exact_states(names, domains, constraint, values, depth + 1)
+                continue
+            if keep:
+                yield from self._pruned_states(
+                    names, domains, schedule, constraint, values, depth + 1
+                )
+        del values[name]
+
+    def _exact_states(self, names, domains, constraint, values, depth):
+        """Unpruned enumeration of one subtree, evaluating the original
+        constraint left-to-right on every full state (the fallback when a
+        scheduled conjunct raises)."""
+        if depth == len(names):
+            state = State(dict(values))
+            if state.satisfies(constraint):
                 yield state
+            return
+        name = names[depth]
+        for value in domains[depth]:
+            values[name] = value
+            yield from self._exact_states(names, domains, constraint, values, depth + 1)
+        del values[name]
 
     def all_states(self, constraint=None):
         """Return the list of all states (optionally filtered)."""

@@ -53,23 +53,16 @@ def receiver_knows_sender_knows():
     return Knows(RECEIVER, sender_knows_receiver_knows())
 
 
-def context():
-    """Build the bit-transmission context.
-
-    Variables: ``sbit`` (the bit to transmit), ``rbit`` (the transmitted
-    value), ``snt`` (whether ``rbit`` is valid), ``ack``.  The sender
-    observes ``sbit`` and ``ack``; the receiver observes ``rbit`` and
-    ``snt``.  Initially ``rbit``, ``snt`` and ``ack`` are false and ``sbit``
-    is arbitrary (two initial states).
-    """
+def context_parts():
+    """The context ingredients, shared by the explicit and symbolic paths."""
     sbit = boolean(SBIT)
     rbit = boolean(RBIT)
     snt = boolean(SNT)
     ack = boolean(ACK)
     space = StateSpace([sbit, rbit, snt, ack])
-    return variable_context(
-        "bit-transmission",
-        space,
+    return dict(
+        name="bit-transmission",
+        state_space=space,
         observables={SENDER: [SBIT, ACK], RECEIVER: [RBIT, SNT]},
         actions={
             SENDER: {
@@ -83,6 +76,25 @@ def context():
         },
         initial=(~var(rbit)) & (~var(snt)) & (~var(ack)),
     )
+
+
+def context():
+    """Build the bit-transmission context.
+
+    Variables: ``sbit`` (the bit to transmit), ``rbit`` (the transmitted
+    value), ``snt`` (whether ``rbit`` is valid), ``ack``.  The sender
+    observes ``sbit`` and ``ack``; the receiver observes ``rbit`` and
+    ``snt``.  Initially ``rbit``, ``snt`` and ``ack`` are false and ``sbit``
+    is arbitrary (two initial states).
+    """
+    return variable_context(**context_parts())
+
+
+def symbolic_model():
+    """The enumeration-free compiled form of the same context."""
+    from repro.symbolic.model import SymbolicContextModel
+
+    return SymbolicContextModel(**context_parts())
 
 
 def program():

@@ -54,19 +54,13 @@ def knows_own_status(i):
     return Or((Knows(agent, muddy_prop(i)), Knows(agent, Not(muddy_prop(i)))))
 
 
-def context(n, max_round=None):
-    """Build the muddy-children context for ``n`` children.
+def context_parts(n, max_round=None):
+    """The ingredients of the muddy-children context, as the keyword
+    arguments of :func:`repro.systems.variable_context.variable_context`.
 
-    Variables: ``muddy_i`` (static), ``said_i`` (the child's answer in the
-    previous round), a saturating ``round`` counter and ``heard`` — the first
-    round in which some child answered *yes* (0 while nobody has).  The
-    ``heard`` variable is the finite summary of the announcement history that
-    gives the children perfect recall of what matters: "nobody answered yes
-    before round ``r``".  Child ``i`` observes every ``muddy_j`` with
-    ``j != i``, every ``said_j``, the round and ``heard``.  The initial
-    states are all muddiness patterns with at least one muddy child (the
-    father's announcement), ``said_i = false``, ``round = 0`` and
-    ``heard = 0``.
+    Shared by :func:`context` (the explicit pipeline) and
+    :func:`symbolic_model` (the enumeration-free one), so both construct
+    from literally the same specification.
     """
     if n < 1:
         raise ValueError("need at least one child")
@@ -122,13 +116,55 @@ def context(n, max_round=None):
         }
     )
 
-    return variable_context(
-        f"muddy-children-{n}",
-        space,
+    return dict(
+        name=f"muddy-children-{n}",
+        state_space=space,
         observables=observables,
         actions=actions,
         initial=initial,
         env_effects={"tick": tick},
+    )
+
+
+def context(n, max_round=None):
+    """Build the muddy-children context for ``n`` children.
+
+    Variables: ``muddy_i`` (static), ``said_i`` (the child's answer in the
+    previous round), a saturating ``round`` counter and ``heard`` — the first
+    round in which some child answered *yes* (0 while nobody has).  The
+    ``heard`` variable is the finite summary of the announcement history that
+    gives the children perfect recall of what matters: "nobody answered yes
+    before round ``r``".  Child ``i`` observes every ``muddy_j`` with
+    ``j != i``, every ``said_j``, the round and ``heard``.  The initial
+    states are all muddiness patterns with at least one muddy child (the
+    father's announcement), ``said_i = false``, ``round = 0`` and
+    ``heard = 0``.
+    """
+    return variable_context(**context_parts(n, max_round=max_round))
+
+
+def symbolic_model(n, max_round=None):
+    """The enumeration-free compiled form of the same context — a
+    :class:`repro.symbolic.model.SymbolicContextModel` built from
+    :func:`context_parts` without enumerating a single state, usable at
+    sizes where the explicit context cannot even be constructed
+    (``StateSpace.size()`` is ``≈ 5·10^14`` at ``n = 20``).
+
+    The BDD variable order interleaves each child's ``muddy_i`` with its
+    ``said_i`` (with the round counters on top): a child's answer is a
+    function of its muddiness and the round, so keeping the pair adjacent
+    keeps the reachable-set BDD polynomial, whereas the state space's
+    declaration order (all ``muddy`` then all ``said``) would force the
+    diagram to remember the entire muddiness pattern across the ``said``
+    block.
+    """
+    from repro.symbolic.model import SymbolicContextModel
+
+    order = ["round", "heard"]
+    for i in range(n):
+        order += [f"muddy{i}", f"said{i}"]
+    return SymbolicContextModel(
+        **context_parts(n, max_round=max_round), variable_order=order
     )
 
 
@@ -148,8 +184,11 @@ def program(n):
 
 def initial_state_for_pattern(context_, muddy_pattern):
     """Return the initial state in which exactly the children flagged in
-    ``muddy_pattern`` (a sequence of booleans) are muddy."""
-    space = context_.spec.state_space
+    ``muddy_pattern`` (a sequence of booleans) are muddy.
+
+    ``context_`` may be the explicit context or a :func:`symbolic_model`."""
+    spec = getattr(context_, "spec", context_)
+    space = spec.state_space
     values = {"round": 0, "heard": 0}
     for i, is_muddy in enumerate(muddy_pattern):
         values[f"muddy{i}"] = bool(is_muddy)
@@ -220,13 +259,23 @@ def all_patterns(n, muddy_count=None):
         yield bits
 
 
-def solve(n, method="rounds", max_round=None):
+def solve(n, method="rounds", max_round=None, symbolic=False):
     """Interpret the ``n``-children program and return the
     :class:`repro.interpretation.iteration.IterationResult` (the context is
     synchronous, so the round-by-round construction is sound and is the
-    default)."""
+    default).
+
+    With ``symbolic=True`` the round construction runs enumeration-free on
+    :func:`symbolic_model` — required beyond ``n ≈ 10``, where the explicit
+    pipeline becomes infeasible (and only available for ``method="rounds"``).
+    """
     from repro.interpretation import construct_by_rounds, iterate_interpretation
 
+    if symbolic:
+        if method != "rounds":
+            raise ValueError("the symbolic path supports only the rounds method")
+        model = symbolic_model(n, max_round=max_round)
+        return construct_by_rounds(program(n).check_against_context(model), model)
     ctx = context(n, max_round=max_round)
     prog = program(n).check_against_context(ctx)
     if method == "rounds":

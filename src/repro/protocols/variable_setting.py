@@ -36,14 +36,13 @@ def _state_space():
     return StateSpace([ranged("x", 0, 3)])
 
 
-def context():
-    """The shared context: blind agent ``a``, ``x in 0..3``, initially 0,
-    actions ``set1``, ``set2``, ``set3`` writing the corresponding value."""
+def context_parts():
+    """The context ingredients, shared by the explicit and symbolic paths."""
     space = _state_space()
     x = space.variable("x")
-    return variable_context(
-        "variable-setting",
-        space,
+    return dict(
+        name="variable-setting",
+        state_space=space,
         observables={AGENT: []},
         actions={
             AGENT: {
@@ -54,6 +53,19 @@ def context():
         },
         initial=(var(x) == 0),
     )
+
+
+def context():
+    """The shared context: blind agent ``a``, ``x in 0..3``, initially 0,
+    actions ``set1``, ``set2``, ``set3`` writing the corresponding value."""
+    return variable_context(**context_parts())
+
+
+def symbolic_model():
+    """The enumeration-free compiled form of the same context."""
+    from repro.symbolic.model import SymbolicContextModel
+
+    return SymbolicContextModel(**context_parts())
 
 
 def _knows_not_value(value):

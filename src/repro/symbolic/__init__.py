@@ -16,21 +16,59 @@ Three layers:
   :class:`~repro.engine.backend.SetBackend` implementation registered as
   ``"bdd"``, whose cost scales with BDD size rather than ``|W|``.
 
+On top of the backend sits the *enumeration-free construction* pipeline:
+
+* :mod:`repro.symbolic.compile` — a per-variable binary encoding of a
+  :class:`~repro.modeling.state_space.StateSpace` and an
+  ``Expression → BDD`` compiler (boolean structure directly, arithmetic by
+  value-range case splits) that never enumerates states;
+* :mod:`repro.symbolic.model` — :class:`SymbolicContextModel`, the
+  compiled form of a variable context (initial set, observational
+  equivalences, transition relation — all BDDs built straight from the
+  specification), plus the structure/view adapters that plug it into the
+  unmodified ``"bdd"`` backend and evaluator.
+
 The backend is registered lazily by :mod:`repro.engine.backend`; importing
-this package directly is only needed to use the kernel or the encoding on
-their own.
+this package directly is only needed to use the kernel, the encodings or
+the compilation pipeline on their own.
 """
 
-from repro.symbolic.bdd import BDD, FALSE, TRUE
+from repro.symbolic.bdd import BDD, DEFAULT_CACHE_CEILING, FALSE, TRUE
 from repro.symbolic.encode import SymbolicEncoding, encoding_for
 from repro.symbolic.backend_bdd import SymbolicBackend, SymbolicWorldSet
+from repro.symbolic.compile import VariableEncoding
+
+# The model layer is exported lazily (PEP 562): it imports the engine and
+# interpretation packages, which in turn resolve the process-default backend
+# at import time — under ``REPRO_SET_BACKEND=bdd`` that resolution imports
+# *this* package, so an eager ``from repro.symbolic.model import ...`` here
+# would close an import cycle through the half-initialised engine.
+_MODEL_EXPORTS = (
+    "SymbolicContextModel",
+    "SymbolicGuardTable",
+    "SymbolicStateSetView",
+    "SymbolicStructure",
+    "compile_context",
+)
+
+
+def __getattr__(name):
+    if name in _MODEL_EXPORTS:
+        from repro.symbolic import model
+
+        return getattr(model, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "BDD",
+    "DEFAULT_CACHE_CEILING",
     "FALSE",
     "TRUE",
     "SymbolicEncoding",
     "encoding_for",
     "SymbolicBackend",
     "SymbolicWorldSet",
+    "VariableEncoding",
+    *_MODEL_EXPORTS,
 ]

@@ -37,7 +37,7 @@ and cached evaluator extensions all stay valid across a
 :meth:`clear_cache`.
 """
 
-from repro.engine.backend import SetBackend, proposition_masks
+from repro.engine.backend import SetBackend
 from repro.symbolic.bdd import FALSE
 from repro.symbolic.encode import encoding_for
 
@@ -80,22 +80,16 @@ class SymbolicBackend(SetBackend):
     # -- conversions ---------------------------------------------------------------
 
     def from_worlds(self, structure, worlds):
+        # All conversions go through the *encoding protocol* (see
+        # ``repro.symbolic.encode``): the dense-index encoding realises it
+        # via the mask codec, the enumeration-free variable encoding of
+        # ``repro.symbolic.model`` via per-variable value cubes — the modal
+        # machinery below is agnostic to which one a structure carries.
         encoding = encoding_for(structure)
-        index_of = structure.index_of
-        mask = 0
-        for world in worlds:
-            mask |= 1 << index_of(world)
-        return SymbolicWorldSet(encoding, encoding.set_from_mask(mask))
+        return SymbolicWorldSet(encoding, encoding.worlds_node(worlds))
 
     def to_frozenset(self, structure, ws):
-        world_at = structure.worlds
-        mask = ws.encoding.mask_from_set(ws.node)
-        result = []
-        while mask:
-            low = mask & -mask
-            result.append(world_at[low.bit_length() - 1])
-            mask ^= low
-        return frozenset(result)
+        return ws.encoding.node_worlds(ws.node)
 
     def universe(self, structure):
         encoding = encoding_for(structure)
@@ -124,7 +118,7 @@ class SymbolicBackend(SetBackend):
     # -- queries --------------------------------------------------------------------
 
     def contains(self, structure, ws, world):
-        return ws.encoding.contains_index(ws.node, structure.index_of(world))
+        return ws.encoding.node_contains(ws.node, world)
 
     def is_empty(self, ws):
         return ws.node == FALSE
@@ -139,8 +133,7 @@ class SymbolicBackend(SetBackend):
 
     def prop_extension(self, structure, name):
         encoding = encoding_for(structure)
-        mask = proposition_masks(structure).get(name, 0)
-        return SymbolicWorldSet(encoding, encoding.set_from_mask(mask))
+        return SymbolicWorldSet(encoding, encoding.prop_node(name))
 
     def _diamond(self, encoding, relation, inner_node):
         """Existential image: worlds with some relation-successor in the set

@@ -38,12 +38,24 @@ cleared, node ids stay valid for the manager's lifetime) and the *operation
 caches* (``ite`` and quantify/rename/count memos), which
 :meth:`clear_operation_caches` drops without invalidating any node id —
 that is the "boundable" half a long-lived evaluator can safely release.
+
+The operation caches are additionally *bounded*: each is capped at
+``cache_ceiling`` entries (:data:`DEFAULT_CACHE_CEILING` unless overridden
+at construction) and cleared when it overflows, so long-running loops —
+hundreds of rounds of symbolic KBP construction against one shared manager
+— cannot grow the memo tables without bound.  Overflows only cost
+recomputation, never correctness, and are observable: :meth:`cache_info`
+reports the high-water mark of each cache and the number of
+overflow-triggered clears.
 """
 
 from repro.util.errors import EngineError
 
 FALSE = 0
 TRUE = 1
+
+DEFAULT_CACHE_CEILING = 1 << 20
+"""Default per-cache entry ceiling of a manager's operation caches."""
 
 
 class BDD:
@@ -55,12 +67,27 @@ class BDD:
     batch of calls — are paid for once.
     """
 
-    __slots__ = ("num_vars", "_level", "_low", "_high", "_unique", "_ite_cache", "_op_cache")
+    __slots__ = (
+        "num_vars",
+        "cache_ceiling",
+        "_level",
+        "_low",
+        "_high",
+        "_unique",
+        "_ite_cache",
+        "_op_cache",
+        "_ite_high_water",
+        "_op_high_water",
+        "_cache_clears",
+    )
 
-    def __init__(self, num_vars):
+    def __init__(self, num_vars, cache_ceiling=DEFAULT_CACHE_CEILING):
         if num_vars < 0:
             raise EngineError("a BDD manager needs a non-negative variable count")
+        if cache_ceiling is not None and cache_ceiling < 1:
+            raise EngineError("cache_ceiling must be a positive entry count or None")
         self.num_vars = num_vars
+        self.cache_ceiling = cache_ceiling
         # Terminals live below every variable: their level is ``num_vars``.
         self._level = [num_vars, num_vars]
         self._low = [-1, -1]
@@ -68,6 +95,24 @@ class BDD:
         self._unique = {}
         self._ite_cache = {}
         self._op_cache = {}
+        self._ite_high_water = 0
+        self._op_high_water = 0
+        self._cache_clears = 0
+
+    def _bound_ite_cache(self):
+        """Clear the ``ite`` memo when it overflows its ceiling (clearing
+        only forces recomputation; no node id is invalidated)."""
+        if self.cache_ceiling is not None and len(self._ite_cache) >= self.cache_ceiling:
+            self._ite_high_water = max(self._ite_high_water, len(self._ite_cache))
+            self._ite_cache.clear()
+            self._cache_clears += 1
+
+    def _bound_op_cache(self):
+        """Clear the quantify/rename/count memo when it overflows."""
+        if self.cache_ceiling is not None and len(self._op_cache) >= self.cache_ceiling:
+            self._op_high_water = max(self._op_high_water, len(self._op_cache))
+            self._op_cache.clear()
+            self._cache_clears += 1
 
     # -- node primitives ---------------------------------------------------------
 
@@ -152,6 +197,7 @@ class BDD:
         h0, h1 = self._cofactors(h, level)
         result = self._node(level, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
         self._ite_cache[key] = result
+        self._bound_ite_cache()
         return result
 
     def not_(self, f):
@@ -200,6 +246,7 @@ class BDD:
             self._restrict(self._high[u], level, value),
         )
         self._op_cache[key] = result
+        self._bound_op_cache()
         return result
 
     def _normalize_levels(self, levels):
@@ -231,6 +278,7 @@ class BDD:
         else:
             result = self._node(node_level, low, high)
         self._op_cache[key] = result
+        self._bound_op_cache()
         return result
 
     def forall(self, u, levels):
@@ -282,6 +330,7 @@ class BDD:
                 self._and_exists(f1, g1, levels),
             )
         self._op_cache[key] = result
+        self._bound_op_cache()
         return result
 
     # -- renaming ---------------------------------------------------------------------
@@ -323,6 +372,7 @@ class BDD:
             )
         result = self._node(new_level, low, high)
         self._op_cache[key] = result
+        self._bound_op_cache()
         return result
 
     # -- evaluation, counting, enumeration ----------------------------------------------
@@ -356,6 +406,7 @@ class BDD:
             self._sat_count(high) << (self._level[high] - level - 1)
         )
         self._op_cache[key] = result
+        self._bound_op_cache()
         return result
 
     def sat_all(self, u):
@@ -408,11 +459,21 @@ class BDD:
     # -- observability -----------------------------------------------------------------
 
     def cache_info(self):
-        """Sizes of the manager's memoisation layers (see module docstring)."""
+        """Sizes of the manager's memoisation layers (see module docstring).
+
+        ``ite_high_water``/``op_high_water`` report the largest size each
+        operation cache ever reached (including the current size), and
+        ``cache_clears`` counts overflow-triggered clears against
+        ``cache_ceiling`` — the observability hooks of the bounded caches.
+        """
         return {
             "nodes": len(self._level) - 2,
             "ite_cache": len(self._ite_cache),
             "op_cache": len(self._op_cache),
+            "ite_high_water": max(self._ite_high_water, len(self._ite_cache)),
+            "op_high_water": max(self._op_high_water, len(self._op_cache)),
+            "cache_clears": self._cache_clears,
+            "cache_ceiling": self.cache_ceiling,
         }
 
     def clear_operation_caches(self):
@@ -422,6 +483,8 @@ class BDD:
         subsequent operations just recompute their memo entries.  This is
         the safe way to bound a long-lived manager's cache footprint.
         """
+        self._ite_high_water = max(self._ite_high_water, len(self._ite_cache))
+        self._op_high_water = max(self._op_high_water, len(self._op_cache))
         self._ite_cache.clear()
         self._op_cache.clear()
 

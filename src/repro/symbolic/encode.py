@@ -126,6 +126,45 @@ class SymbolicEncoding:
         """The minterm BDD of the single world with the given dense index."""
         return self.set_from_mask(1 << index, primed=primed)
 
+    # -- boundary protocol -------------------------------------------------------------
+    #
+    # The four methods below (plus ``domain``, ``count``, ``prime``/``unprime``,
+    # ``agent_relation``/``group_relation`` and the cache hooks) are the
+    # *encoding protocol* the ``"bdd"`` backend talks to.  Any object that
+    # implements them can stand in for this class — in particular the
+    # variable-level encoding of :mod:`repro.symbolic.model`, whose world
+    # universe is never enumerated; here they are thin wrappers over the
+    # mask codec of the dense-index encoding.
+
+    def worlds_node(self, worlds):
+        """The world-set BDD of an iterable of world identifiers."""
+        index_of = self.structure.index_of
+        mask = 0
+        for world in worlds:
+            mask |= 1 << index_of(world)
+        return self.set_from_mask(mask)
+
+    def node_worlds(self, node):
+        """The frozenset of world identifiers of a world-set BDD."""
+        world_at = self.structure.worlds
+        mask = self.mask_from_set(node)
+        result = []
+        while mask:
+            low = mask & -mask
+            result.append(world_at[low.bit_length() - 1])
+            mask ^= low
+        return frozenset(result)
+
+    def node_contains(self, node, world):
+        """Point query by world identifier."""
+        return self.contains_index(node, self.structure.index_of(world))
+
+    def prop_node(self, name):
+        """The world-set BDD of a proposition's extension."""
+        from repro.engine.backend import proposition_masks
+
+        return self.set_from_mask(proposition_masks(self.structure).get(name, 0))
+
     def contains_index(self, node, index):
         """Point query: is the world with the given dense index in the set?"""
         bdd = self.bdd

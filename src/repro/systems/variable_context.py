@@ -33,15 +33,37 @@ class VariableContextSpec:
     Instances are produced by :func:`variable_context` and attached to the
     resulting :class:`repro.systems.context.Context` as ``context.spec`` so
     that tools (e.g. the implementation search) can enumerate states and
-    actions symbolically.
+    actions symbolically.  Besides the materialised ``initial_states``, the
+    spec records the *raw* ingredients — the initial-state constraint
+    expression, the global constraint, any custom environment protocol,
+    admissibility predicate and extra-label function — so that
+    :func:`repro.symbolic.model.compile_context` can rebuild the context as
+    BDDs without enumerating anything.
     """
 
-    def __init__(self, state_space, observables, actions, env_effects, initial_states):
+    def __init__(
+        self,
+        state_space,
+        observables,
+        actions,
+        env_effects,
+        initial_states,
+        initial_condition=None,
+        global_constraint=None,
+        env_protocol=None,
+        admissibility=None,
+        extra_labels=None,
+    ):
         self.state_space = state_space
         self.observables = observables
         self.actions = actions
         self.env_effects = env_effects
         self.initial_states = initial_states
+        self.initial_condition = initial_condition
+        self.global_constraint = global_constraint
+        self.env_protocol = env_protocol
+        self.admissibility = admissibility
+        self.extra_labels = extra_labels
 
     def action(self, agent, name):
         """Return agent ``agent``'s :class:`Action` called ``name``."""
@@ -156,6 +178,7 @@ def variable_context(
     if not env_effects:
         env_effects = {None: Assignment({})}
 
+    custom_env_protocol = env_protocol
     if env_protocol is None:
         all_env = tuple(env_effects)
 
@@ -240,5 +263,10 @@ def variable_context(
         actions=action_table,
         env_effects=env_effects,
         initial_states=tuple(initial_states),
+        initial_condition=initial if isinstance(initial, Expression) else None,
+        global_constraint=global_constraint,
+        env_protocol=custom_env_protocol,
+        admissibility=admissibility,
+        extra_labels=extra_labels,
     )
     return context
