@@ -138,6 +138,19 @@ def _workloads():
 
         return run
 
+    # E13 — symbolic CTLK checking end-to-end, plus the dynamic-reordering
+    # legs on the adversarial dining-cryptographers order.  Like E12, the
+    # workloads pin the "bdd" engine internally; their returned metrics
+    # (peak node allocations, reorder counts) land in the JSON next to the
+    # timings, so the committed snapshot shows sifting's node reduction.
+    from bench_e13_symbolic_ctlk import _dining_ctlk, _muddy_ctlk
+
+    def e13_muddy_run_for(n):
+        return lambda _: _muddy_ctlk(n)
+
+    def e13_dining_run_for(n, **kwargs):
+        return lambda _: _dining_ctlk(n, **kwargs)
+
     return [
         ("e3_muddy_children_solve", e3_setup, e3_run),
         ("e6_fixed_point_chain32", e6_setup, e6_run),
@@ -154,18 +167,39 @@ def _workloads():
         ("e12_symbolic_construct_muddy_n7", e3_setup, e12_symbolic_run_for(7), ("bdd",)),
         ("e12_symbolic_construct_muddy_n10", e3_setup, e12_symbolic_run_for(10), ("bdd",)),
         ("e12_symbolic_construct_muddy_n12", e3_setup, e12_symbolic_run_for(12), ("bdd",)),
+        ("e13_symbolic_ctlk_muddy_n10", e3_setup, e13_muddy_run_for(10), ("bdd",)),
+        ("e13_symbolic_ctlk_muddy_n14", e3_setup, e13_muddy_run_for(14), ("bdd",)),
+        ("e13_symbolic_ctlk_muddy_n20", e3_setup, e13_muddy_run_for(20), ("bdd",)),
+        ("e13_symbolic_ctlk_dining_n10", e3_setup, e13_dining_run_for(10), ("bdd",)),
+        (
+            "e13_dining_blocked_order_n8",
+            e3_setup,
+            e13_dining_run_for(8, blocked=True),
+            ("bdd",),
+        ),
+        (
+            "e13_dining_blocked_order_sift_n8",
+            e3_setup,
+            e13_dining_run_for(8, blocked=True, reorder=True),
+            ("bdd",),
+        ),
     ]
 
 
 def time_workload(setup, run, repeats):
+    """Best-of-``repeats`` wall time, plus the metrics dict of the fastest
+    run when the workload returns one (peak node counts etc.)."""
     inputs = setup()
     best = None
+    metrics = None
     for _ in range(repeats):
         start = time.perf_counter()
-        run(inputs)
+        outcome = run(inputs)
         elapsed = time.perf_counter() - start
-        best = elapsed if best is None else min(best, elapsed)
-    return best
+        if best is None or elapsed < best:
+            best = elapsed
+            metrics = outcome if isinstance(outcome, dict) else None
+    return best, metrics
 
 
 REGRESSION_THRESHOLD = 1.5
@@ -253,10 +287,11 @@ def main(argv=None):
                 only = entry[3] if len(entry) > 3 else None
                 if only is not None and backend_name not in only:
                     continue
-                seconds = time_workload(setup, run, args.repeats)
-                results.append(
-                    {"benchmark": name, "backend": backend_name, "seconds": seconds}
-                )
+                seconds, metrics = time_workload(setup, run, args.repeats)
+                entry = {"benchmark": name, "backend": backend_name, "seconds": seconds}
+                if metrics:
+                    entry["metrics"] = metrics
+                results.append(entry)
                 print(
                     f"  {name:<34} {backend_name:<10} {seconds * 1000:10.3f} ms",
                     file=sys.stderr,

@@ -1,4 +1,16 @@
-"""Enumeration-free round-based interpretation of knowledge-based programs.
+"""Enumeration-free interpretation of knowledge-based programs.
+
+Both interpretation procedures of :mod:`repro.interpretation.iteration` have
+symbolic twins here, reached transparently through the ``is_symbolic_model``
+dispatch of their explicit namesakes:
+
+:func:`construct_by_rounds_symbolic`
+    the depth-stratified construction, every set a BDD (below);
+:func:`iterate_interpretation_symbolic`
+    the non-monotone functional iteration ``P_{k+1} = Pg^{I_rep(P_k)}``,
+    with protocols as per-agent ``action -> class BDD`` maps, reachability
+    as relational images, and fixed-point/cycle detection on canonical BDD
+    node ids instead of enumerated protocol tables.
 
 :func:`construct_by_rounds_symbolic` is the symbolic twin of
 :func:`repro.interpretation.iteration.construct_by_rounds`: the same
@@ -36,11 +48,16 @@ the same frozen protocol).
 
 from repro.interpretation.functional import guard_table
 from repro.interpretation.iteration import IterationResult, _fallback_set
-from repro.symbolic.bdd import FALSE
+from repro.symbolic.bdd import FALSE, TRUE
+from repro.systems.actions import NOOP_NAME
 from repro.systems.protocols import JointProtocol, Protocol
-from repro.util.errors import InterpretationError
+from repro.util.errors import InterpretationError, ModelError, ProgramError
 
-__all__ = ["construct_by_rounds_symbolic", "SymbolicSystem"]
+__all__ = [
+    "construct_by_rounds_symbolic",
+    "iterate_interpretation_symbolic",
+    "SymbolicSystem",
+]
 
 
 def construct_by_rounds_symbolic(
@@ -70,6 +87,15 @@ def construct_by_rounds_symbolic(
     rounds = 0
     while frontier != FALSE and rounds < max_rounds:
         rounds += 1
+        if bdd.reorder_pending:
+            # Round boundaries are the construction's precise safe points:
+            # everything the loop holds is enumerable here, so a pending
+            # sift can collect unreachable junk as well.
+            in_flight = [seen, frontier]
+            in_flight += decided.values()
+            for agent_selection in selection.values():
+                in_flight += agent_selection.values()
+            model.maybe_reorder(in_flight)
         view = model.view(seen)
         # One symbolic guard table per round's view: all clause guards are
         # evaluated over the accumulated states in one batched engine pass,
@@ -101,7 +127,7 @@ def construct_by_rounds_symbolic(
             program, model, seen, decided, selection, require_local
         )
     protocol = _materialise_protocol(program, model, selection, decided)
-    system = SymbolicSystem(model, seen, rounds)
+    system = SymbolicSystem(model, seen, rounds, selection=selection)
     return IterationResult(
         converged=bool(verified) if verify else True,
         protocol=protocol,
@@ -109,6 +135,221 @@ def construct_by_rounds_symbolic(
         iterations=rounds,
         verified=verified,
     )
+
+
+def iterate_interpretation_symbolic(
+    program,
+    model,
+    seed="liberal",
+    max_iterations=100,
+    require_local=True,
+):
+    """Iterate ``P_{k+1} = Pg^{I_rep(P_k)}`` entirely on BDDs.
+
+    The symbolic twin of
+    :func:`repro.interpretation.iteration.iterate_interpretation`: a protocol
+    iterate is a per-agent map ``action -> class BDD``, representing it is a
+    relational-image reachability sweep (:func:`_reach`), and deriving the
+    next protocol is one :meth:`SymbolicGuardTable.enabled_sets` call per
+    agent over the occupied local-state classes.  Fixed-point detection
+    compares *selection signatures* — per agent, the sorted ``(action,
+    node id)`` pairs of each action's class BDD restricted to the occupied
+    classes; canonicity makes node-id equality exactly behavioural equality
+    on the arising local states, so the test matches the explicit path's
+    ``_protocol_signature`` without enumerating a single local state.
+
+    Cycle detection keys on the reachable-set node alone: the derived
+    protocol is a deterministic function of the reachable set (guards are
+    evaluated over its view), and the next reachable set is a deterministic
+    function of the derived protocol — so a repeated state-set node means
+    the iteration has entered a cycle, mirroring the explicit
+    ``system_signature`` argument.
+
+    ``seed`` is ``"liberal"`` (all program-mentioned actions everywhere),
+    ``"restrictive"`` (the fallback action everywhere), or a joint protocol
+    previously materialised by the symbolic path (it carries its class BDDs
+    as ``selection_nodes``).  There is no ``max_states``: nothing here
+    materialises states.
+    """
+    for agent in program.agents:
+        program.program(agent)  # validate agents exist in the program
+
+    bdd = model.encoding.bdd
+    current = _seed_selection(program, model, seed)
+
+    seen_states = {}
+    history = []
+    for iteration in range(max_iterations):
+        if bdd.reorder_pending:
+            # Iteration boundaries are precise safe points: the loop holds
+            # only the current selection, the memoised state-set views
+            # (rooted by the model) and the signature nodes in ``history``.
+            in_flight = []
+            for agent_selection in current.values():
+                in_flight += agent_selection.values()
+            for signature in history:
+                for _agent, entries in signature:
+                    in_flight += [node for _action, node in entries]
+            model.maybe_reorder(in_flight)
+        states, rounds, current = _reach(program, model, current)
+        view = model.view(states)
+        occupied = {agent: view.project(agent, states) for agent in model.agents}
+        current_signature = _selection_signature(model, current, occupied)
+        history.append(current_signature)
+        table = guard_table(view, program)
+        derived = {
+            agent: table.enabled_sets(agent, occupied[agent], require_local=require_local)
+            for agent in model.agents
+        }
+        derived_signature = _selection_signature(model, derived, occupied)
+        if derived_signature == current_signature:
+            # The derived protocol agrees with the current one on every
+            # occupied class, hence generates the same system: a fixed point
+            # (an implementation) has been found.
+            protocol = _materialise_protocol(
+                program, model, derived, _decided_union(model, derived)
+            )
+            system = SymbolicSystem(model, states, rounds, selection=derived)
+            return IterationResult(
+                converged=True,
+                protocol=protocol,
+                system=system,
+                iterations=iteration + 1,
+                history=history,
+            )
+        if states in seen_states:
+            cycle_length = iteration - seen_states[states]
+            final_states, final_rounds, final_selection = _reach(program, model, derived)
+            protocol = _materialise_protocol(
+                program, model, final_selection, _decided_union(model, final_selection)
+            )
+            system = SymbolicSystem(
+                model, final_states, final_rounds, selection=final_selection
+            )
+            return IterationResult(
+                converged=False,
+                protocol=protocol,
+                system=system,
+                iterations=iteration + 1,
+                cycle_length=cycle_length,
+                history=history,
+            )
+        seen_states[states] = iteration
+        current = derived
+    raise InterpretationError(
+        f"interpretation of {model.name!r} did not stabilise within {max_iterations} iterations"
+    )
+
+
+def _seed_selection(program, model, seed):
+    """The per-agent ``action -> class BDD`` map of a seed protocol."""
+    if seed == "liberal":
+        selection = {}
+        for agent in model.agents:
+            try:
+                actions = frozenset(program.program(agent).actions())
+            except ProgramError:
+                actions = frozenset({NOOP_NAME})
+            if not actions:
+                actions = frozenset({NOOP_NAME})
+            selection[agent] = {action: TRUE for action in actions}
+        return selection
+    if seed == "restrictive":
+        return {
+            agent: {action: TRUE for action in _fallback_set(program, agent)}
+            for agent in model.agents
+        }
+    nodes = getattr(seed, "selection_nodes", None)
+    if nodes is not None:
+        return {
+            agent: dict(nodes.get(agent, ())) for agent in model.agents
+        }
+    raise InterpretationError(
+        f"unknown seed {seed!r}: the symbolic iteration accepts 'liberal', "
+        f"'restrictive', or a joint protocol materialised by the symbolic path"
+    )
+
+
+def _reach(program, model, selection):
+    """The reachable set under ``selection``, as a BFS of relational images.
+
+    Classes no selected action covers — they appear when a derived protocol
+    (decided only on the *previous* system's occupied classes) reaches new
+    territory — are assigned the agent's fallback action on first contact,
+    the symbolic counterpart of the explicit ``fallback_on_unknown``
+    convention.  Returns ``(states, rounds, selection)`` where ``selection``
+    is the (possibly augmented) copy actually used.
+    """
+    bdd = model.encoding.bdd
+    selection = {
+        agent: dict(agent_selection) for agent, agent_selection in selection.items()
+    }
+    covered = {}
+    for agent, agent_selection in selection.items():
+        node = FALSE
+        for classes in agent_selection.values():
+            node = bdd.or_(node, classes)
+        covered[agent] = node
+    seen = model.initial
+    frontier = model.initial
+    rounds = 0
+    while frontier != FALSE:
+        rounds += 1
+        for agent in model.agents:
+            projected = _project(model, agent, frontier)
+            uncovered = bdd.diff(projected, covered[agent])
+            if uncovered == FALSE:
+                continue
+            agent_selection = selection[agent]
+            for action in _fallback_set(program, agent):
+                agent_selection[action] = bdd.or_(
+                    agent_selection.get(action, FALSE), uncovered
+                )
+            covered[agent] = bdd.or_(covered[agent], uncovered)
+        targets = model.successors(frontier, selection)
+        frontier = bdd.diff(targets, seen)
+        seen = bdd.or_(seen, frontier)
+    return seen, rounds, selection
+
+
+def _project(model, agent, node):
+    """Project a state-set BDD onto ``agent``'s observable variables."""
+    levels = model.non_observable_levels(agent)
+    if not levels:
+        return node
+    return model.encoding.bdd.exists(node, levels)
+
+
+def _selection_signature(model, selection, occupied):
+    """The canonical behaviour of ``selection`` on the ``occupied`` classes:
+    per agent, the sorted ``(action, class-BDD id)`` pairs after restriction
+    to the occupied classes (empty restrictions dropped).  Node-id equality
+    of two signatures is exactly behavioural equality of the protocols on
+    the local states arising from the same state set."""
+    bdd = model.encoding.bdd
+    signature = []
+    for agent in model.agents:
+        entries = []
+        for action, classes in selection.get(agent, {}).items():
+            node = bdd.and_(classes, occupied[agent])
+            if node != FALSE:
+                entries.append((str(action), node))
+        signature.append((agent, tuple(sorted(entries))))
+    return tuple(signature)
+
+
+def _decided_union(model, selection):
+    """The per-agent union of a selection's class BDDs — the classes on
+    which the materialised protocol answers from the table rather than the
+    fallback."""
+    bdd = model.encoding.bdd
+    decided = {}
+    for agent in model.agents:
+        node = FALSE
+        for classes in selection.get(agent, {}).values():
+            node = bdd.or_(node, classes)
+        decided[agent] = node
+    return decided
 
 
 def _verify_fixed_point(program, model, seen, decided, selection, require_local):
@@ -156,7 +397,23 @@ def _materialise_protocol(program, model, selection, decided):
             )
 
         protocols[agent] = Protocol(agent, lookup)
-    return JointProtocol(protocols)
+    joint = JointProtocol(protocols)
+    # Canonical class-BDD ids, the currency of the symbolic fixed-point
+    # machinery: _protocol_signature's enumeration-free fast path reads
+    # them, and iterate_interpretation_symbolic accepts a protocol carrying
+    # them as a seed.
+    joint.selection_nodes = {
+        agent: tuple(
+            sorted(
+                (str(action), node)
+                for action, node in selection[agent].items()
+                if node != FALSE
+            )
+        )
+        for agent in model.agents
+    }
+    joint.decided_nodes = {agent: decided[agent] for agent in model.agents}
+    return joint
 
 
 class SymbolicSystem:
@@ -167,16 +424,25 @@ class SymbolicSystem:
     :class:`repro.systems.interpreted_system.InterpretedSystem` (``holds``,
     ``extension``, ``local_state``) plus the symbolic accessors
     (``states_node``, ``state_count``, ``iter_states``,
-    ``extension_node``); run generation and the structural predicates of
-    the explicit class need materialised transitions and are out of scope.
+    ``extension_node``).  When built with the frozen protocol ``selection``
+    (``construct_by_rounds_symbolic`` always passes it) the system also
+    compiles its own transition relation (:meth:`transition_node`), which is
+    what :class:`repro.temporal.symbolic.SymbolicCTLKModelChecker` iterates;
+    run generation and the structural predicates of the explicit class need
+    materialised transitions and are out of scope.
     """
 
-    def __init__(self, model, states_node, rounds):
+    #: Dispatch marker for :class:`repro.temporal.ctlk.CTLKModelChecker`.
+    is_symbolic_system = True
+
+    def __init__(self, model, states_node, rounds, selection=None):
         self.model = model
         self.context = model
         self.states_node = states_node
         self.rounds = rounds
+        self.selection = selection
         self._view = model.view(states_node)
+        self._transition_node = None
 
     @property
     def agents(self):
@@ -202,8 +468,72 @@ class SymbolicSystem:
         """The extension as a world-set BDD (no enumeration)."""
         return self._view.extension_node(formula)
 
+    def holds_initially(self, formula):
+        """Return ``True`` iff ``formula`` holds at every initial state."""
+        bdd = self.model.encoding.bdd
+        return bdd.diff(self.initial_node, self.extension_node(formula)) == FALSE
+
+    def holds_everywhere(self, formula):
+        """Return ``True`` iff ``formula`` holds at every reachable state."""
+        bdd = self.model.encoding.bdd
+        return bdd.diff(self.states_node, self.extension_node(formula)) == FALSE
+
     def local_state(self, agent, state):
         return self.model.local_state(agent, state)
+
+    @property
+    def initial_node(self):
+        """The initial states as a world-set BDD (a subset of the reachable
+        set by construction)."""
+        bdd = self.model.encoding.bdd
+        return bdd.and_(self.model.initial, self.states_node)
+
+    def transition_node(self):
+        """The (memoised) transition-relation BDD of the system over
+        current/primed variable pairs, restricted to reachable states on
+        both sides and *totalised*: deadlock states get an identity
+        self-loop, matching the explicit checker's path-quantification
+        convention.
+
+        Assembled exactly like one :meth:`SymbolicContextModel.successors`
+        image — frame ∧ environment ∧ per-agent selected effects under the
+        frozen protocol — but kept as a relation instead of being collapsed
+        into an image, so temporal fixed points can take pre-images through
+        it with one ``and_exists`` each.
+        """
+        if self._transition_node is not None:
+            return self._transition_node
+        if self.selection is None:
+            raise ModelError(
+                "this SymbolicSystem carries no frozen protocol selection; "
+                "transition relations need one (rebuild it through "
+                "construct_by_rounds_symbolic)"
+            )
+        model = self.model
+        encoding = model.encoding
+        bdd = encoding.bdd
+        relation = bdd.and_(model._frame, model._env_relation)
+        for agent in model.agents:
+            effects = model._agent_effects[agent]
+            choice = FALSE
+            for action, classes in self.selection.get(agent, {}).items():
+                if classes == FALSE:
+                    continue
+                effect_relation, _ = effects[action]
+                choice = bdd.or_(choice, bdd.and_(classes, effect_relation))
+            relation = bdd.and_(relation, choice)
+        relation = bdd.and_(relation, self.states_node)
+        relation = bdd.and_(relation, encoding.prime(self.states_node))
+        deadlocks = bdd.diff(
+            self.states_node, bdd.exists(relation, encoding.primed_levels)
+        )
+        if deadlocks != FALSE:
+            identity = TRUE
+            for variable in reversed(model.state_space.variables):
+                identity = bdd.and_(encoding.equality_node(variable.name), identity)
+            relation = bdd.or_(relation, bdd.and_(deadlocks, identity))
+        self._transition_node = relation
+        return self._transition_node
 
     def state_count(self):
         """The number of reachable states (a BDD count, always cheap)."""

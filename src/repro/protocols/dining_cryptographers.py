@@ -19,7 +19,13 @@ knowledge-checking workload (experiment E9):
 
 from repro.logic.formula import CommonKnows, Knows, Not, Prop, disj
 from repro.modeling import Assignment, StateSpace, boolean, var
-from repro.programs import StandardAgentProgram, StandardProgram
+from repro.programs import (
+    AgentProgram,
+    Clause,
+    KnowledgeBasedProgram,
+    StandardAgentProgram,
+    StandardProgram,
+)
 from repro.systems import represent, variable_context
 
 
@@ -38,14 +44,13 @@ def someone_paid_formula(n):
     return disj([paid_prop(i) for i in range(n)])
 
 
-def context(n=3):
-    """Build the dining-cryptographers context for ``n`` cryptographers.
+def context_parts(n=3):
+    """The ingredients of the dining-cryptographers context, as the keyword
+    arguments of :func:`repro.systems.variable_context.variable_context`.
 
-    Variables: ``paid_i`` (static, at most one true; all false means the NSA
-    paid), one shared coin per adjacent pair (``coin_i`` is shared between
-    cryptographers ``i`` and ``(i+1) % n``), one announcement bit ``say_i``
-    per cryptographer and a ``done`` flag.  Cryptographer ``i`` observes its
-    two coins, whether it paid itself, all announcements and ``done``.
+    Shared by :func:`context` (the explicit pipeline) and
+    :func:`symbolic_model` (the enumeration-free one), so both construct
+    from literally the same specification.
     """
     if n < 3:
         raise ValueError("the protocol needs at least three cryptographers")
@@ -81,15 +86,83 @@ def context(n=3):
     for say in say_vars:
         initial = initial & (~var(say))
 
-    return variable_context(
-        f"dining-cryptographers-{n}",
-        space,
+    return dict(
+        name=f"dining-cryptographers-{n}",
+        state_space=space,
         observables=observables,
         actions=actions,
         initial=initial,
         env_effects={"finish": Assignment({"done": True})},
         global_constraint=at_most_one,
     )
+
+
+def context(n=3):
+    """Build the dining-cryptographers context for ``n`` cryptographers.
+
+    Variables: ``paid_i`` (static, at most one true; all false means the NSA
+    paid), one shared coin per adjacent pair (``coin_i`` is shared between
+    cryptographers ``i`` and ``(i+1) % n``), one announcement bit ``say_i``
+    per cryptographer and a ``done`` flag.  Cryptographer ``i`` observes its
+    two coins, whether it paid itself, all announcements and ``done``.
+    """
+    return variable_context(**context_parts(n))
+
+
+def ring_variable_order(n):
+    """A good BDD variable order for the ring: ``done`` on top, then per
+    position ``paid_i``, ``coin_i``, ``say_i`` interleaved around the ring.
+    Each announcement is the XOR of its two adjacent coins and the local
+    ``paid`` bit, so keeping each position's variables together keeps every
+    cut of the diagram local to one ring segment."""
+    order = ["done"]
+    for i in range(n):
+        order += [f"paid{i}", f"coin{i}", f"say{i}"]
+    return order
+
+
+def blocked_variable_order(n):
+    """A deliberately adversarial order: all ``say`` bits first, then all
+    ``paid`` bits, then all ``coin`` bits, with ``done`` at the bottom.
+    Every ``say_i`` now sits above both coins it depends on, so the diagram
+    must carry the whole announcement pattern across the ``paid`` block —
+    the workload the dynamic-reordering benchmark recovers from."""
+    order = [f"say{i}" for i in range(n)]
+    order += [f"paid{i}" for i in range(n)]
+    order += [f"coin{i}" for i in range(n)]
+    order.append("done")
+    return order
+
+
+def symbolic_model(n=3, variable_order=None):
+    """The enumeration-free compiled form of the same context — a
+    :class:`repro.symbolic.model.SymbolicContextModel` built from
+    :func:`context_parts` without enumerating a single state.
+
+    ``variable_order`` defaults to :func:`ring_variable_order`; pass
+    :func:`blocked_variable_order` (or any other order) to study how the
+    declared order shapes the diagrams, e.g. as the adversarial starting
+    point of the dynamic-reordering benchmark.
+    """
+    from repro.symbolic.model import SymbolicContextModel
+
+    if variable_order is None:
+        variable_order = ring_variable_order(n)
+    return SymbolicContextModel(**context_parts(n), variable_order=variable_order)
+
+
+def program(n=3):
+    """The one-round program as a (trivially) knowledge-based program:
+    every cryptographer announces while the protocol is not ``done``, then
+    idles.  The guard is propositional — the interest is downstream, in the
+    epistemic and temporal-epistemic properties of the generated system —
+    but this form runs through both interpretation pipelines, explicit and
+    symbolic."""
+    programs = [
+        AgentProgram(crypto(i), [Clause(Not(Prop("done")), "announce")])
+        for i in range(n)
+    ]
+    return KnowledgeBasedProgram(programs)
 
 
 def protocol_program(n=3):

@@ -185,13 +185,22 @@ class VariableEncoding:
         bits = self._bits[name]
         base = self._offset[name]
         shift = 1 if primed else 0
+        bdd = self.bdd
+        # Build bottom-up in *current level* order: the declared bit order
+        # equals it only until the manager reorders, so sort by live depth.
+        literals = sorted(
+            (
+                (bdd.level_of_var(2 * (base + i) + shift), 2 * (base + i) + shift, i)
+                for i in range(bits)
+            ),
+            reverse=True,
+        )
         node = TRUE
-        for i in range(bits - 1, -1, -1):  # deepest level first: build bottom-up
-            level = 2 * (base + i) + shift
+        for _, var, i in literals:
             if (code >> (bits - 1 - i)) & 1:
-                node = self.bdd._node(level, FALSE, node)
+                node = bdd._node(var, FALSE, node)
             else:
-                node = self.bdd._node(level, node, FALSE)
+                node = bdd._node(var, node, FALSE)
         self._cube_memo[key] = node
         return node
 
@@ -253,9 +262,17 @@ class VariableEncoding:
         if cached is None:
             node_ = self.bdd._node
             base = self._offset[name]
+            # Deepest (current level) pair first; each (current, primed)
+            # pair stays adjacent-in-order under reordering because the
+            # pairs are the manager's keep-groups, so the per-bit gadget
+            # shape is order-safe — only the chaining order can change.
+            pairs = sorted(
+                (2 * (base + i) for i in range(self._bits[name])),
+                key=self.bdd.level_of_var,
+                reverse=True,
+            )
             node = TRUE
-            for i in range(self._bits[name] - 1, -1, -1):
-                current = 2 * (base + i)
+            for current in pairs:
                 node = node_(
                     current,
                     node_(current + 1, node, FALSE),
@@ -284,9 +301,9 @@ class VariableEncoding:
         bdd = self.bdd
         owner = self._bit_owner
         while node > TRUE:
-            level = bdd.level_of(node)
-            name, i, bits = owner[level >> 1]
-            source = primed_state if level & 1 else state
+            var = bdd.var_of(node)
+            name, i, bits = owner[var >> 1]
+            source = primed_state if var & 1 else state
             if source is None:
                 raise ModelError("relation BDD evaluated without a primed state")
             code = self.code_of(name, source[name])
@@ -350,6 +367,33 @@ class VariableEncoding:
                 partial[variable.name] = value
                 yield from self._iter_assignments(restricted, order, index + 1, partial)
                 del partial[variable.name]
+
+    # -- dynamic reordering ------------------------------------------------------------
+
+    def reorder_groups(self):
+        """The keep-groups for dynamic reordering: one ``(current, primed)``
+        level pair per encoding bit.  Sifting whole pairs keeps the
+        interleaving — and with it the :meth:`prime`/:meth:`unprime` renames
+        and the :meth:`equality_node` gadgets — valid under any order."""
+        return tuple((2 * p, 2 * p + 1) for p in range(self.total_bits))
+
+    def enable_reordering(self, threshold=None):
+        """Arm the manager's growth-triggered sifting with the encoding's
+        pair keep-groups (see :meth:`repro.symbolic.bdd.BDD.enable_reordering`)."""
+        self.bdd.enable_reordering(groups=self.reorder_groups(), threshold=threshold)
+
+    def reorder_roots(self):
+        """The nodes the encoding itself holds (memoised cubes, equalities,
+        domains, compiled expressions) — the encoding's contribution to the
+        live root set a reorder's size metric tracks."""
+        roots = []
+        roots.extend(self._cube_memo.values())
+        roots.extend(self._eq_memo.values())
+        roots.extend(self._domain_memo.values())
+        roots.extend(self._truth_memo.values())
+        for table in self._values_memo.values():
+            roots.extend(table.values())
+        return roots
 
     # -- expression compilation --------------------------------------------------------
 

@@ -58,6 +58,8 @@ The round-based interpretation loop living on top of these is
 :func:`repro.interpretation.symbolic.construct_by_rounds_symbolic`.
 """
 
+import os
+
 from repro.engine import evaluator_for
 from repro.interpretation.functional import GuardTable
 from repro.modeling.expressions import Expression
@@ -108,6 +110,7 @@ class SymbolicContextModel:
         extra_labels=None,
         cache_ceiling=None,
         variable_order=None,
+        reorder=None,
     ):
         if not isinstance(state_space, StateSpace):
             raise ModelError("state_space must be a StateSpace instance")
@@ -177,6 +180,15 @@ class SymbolicContextModel:
         self._obs_equivalence = {}
         self._non_obs_levels = {}
         self._views = {}
+
+        # Dynamic reordering opt-in: the declared ``variable_order`` becomes a
+        # hint and the kernel sifts itself when the unique table outgrows its
+        # trigger.  ``reorder=None`` defers to the ``REPRO_BDD_REORDER``
+        # environment variable (value ``"sift"``).
+        if reorder is None:
+            reorder = os.environ.get("REPRO_BDD_REORDER", "") == "sift"
+        if reorder:
+            self.encoding.enable_reordering()
 
     # -- transition compilation --------------------------------------------------------
 
@@ -331,6 +343,60 @@ class SymbolicContextModel:
         variable_name, value = pair
         return self.encoding.value_node(variable_name, value)
 
+    # -- dynamic reordering ------------------------------------------------------------
+
+    def reorder_roots(self):
+        """Every node the model and its memoised satellites (views, their
+        evaluators, their guard tables) hold a reference to.  A reorder
+        invalidates unreachable nodes (see :meth:`repro.symbolic.bdd.BDD.reorder`),
+        so this set must cover every node a cached object may hand out
+        again; it also steers the sift's live-size metric towards the
+        diagrams that actually matter."""
+        roots = list(self.encoding.reorder_roots())
+        roots += (self.domain, self.domain_primed, self.initial, self._frame)
+        roots.append(self._env_relation)
+        roots += (illegal for _, illegal in self._env_illegal)
+        for table in self._agent_effects.values():
+            for relation, illegal in table.values():
+                roots.append(relation)
+                roots.append(illegal)
+        roots += self._obs_equivalence.values()
+        for states_node, view in self._views.items():
+            roots.append(states_node)
+            encoding = view.structure.encoding
+            roots.append(encoding.domain_primed)
+            roots += encoding._relations.values()
+            for entry in view.structure.engine_cache.values():
+                cache = getattr(entry, "cache", None)
+                if isinstance(cache, dict):  # an Evaluator's formula memo
+                    for world_set in cache.values():
+                        node = getattr(world_set, "node", None)
+                        if node is not None:
+                            roots.append(node)
+            for table in getattr(view, "_guard_tables", {}).values():
+                for true_classes, false_classes in table._class_values.values():
+                    roots.append(true_classes)
+                    roots.append(false_classes)
+        return roots
+
+    def maybe_reorder(self, extra=None):
+        """Safe point: run a pending growth-triggered sift, if any.  Called
+        between (never inside) BDD operations by the transition engine and
+        the symbolic fixed-point loops; returns ``True`` if a reorder ran.
+
+        With ``extra=None`` the sift is pessimistic (``roots=None``: every
+        node stays valid, only sift transients are collected) — the safe
+        default when callers up the stack may hold nodes of their own.  A
+        caller that can enumerate *everything* it holds passes those nodes
+        as ``extra``; together with :meth:`reorder_roots` they then form the
+        complete live set and unreachable junk is collected too."""
+        bdd = self.encoding.bdd
+        if not bdd.reorder_pending:
+            return False
+        if extra is None:
+            return bdd.maybe_reorder(None)
+        return bdd.maybe_reorder(self.reorder_roots() + list(extra))
+
     # -- transitions -------------------------------------------------------------------
 
     def successors(self, frontier, selection):
@@ -343,6 +409,7 @@ class SymbolicContextModel:
         transitions into states violating the global constraint raise
         :class:`ModelError`, mirroring the explicit transition function.
         """
+        self.maybe_reorder()
         bdd = self.encoding.bdd
         for env_name, illegal in self._env_illegal:
             if bdd.and_(frontier, illegal) != FALSE:

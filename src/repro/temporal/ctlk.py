@@ -172,7 +172,25 @@ class CTLKModelChecker:
     agent/group)`` (innermost modalities first, so operands — possibly
     temporal — are always evaluable) and each group goes through one backend
     ``*_many`` call, one stacked pass on the matrix backend.
+
+    Constructing a checker on a *symbolic* system (one flagged
+    ``is_symbolic_system`` — the output of
+    :func:`repro.interpretation.symbolic.construct_by_rounds_symbolic`)
+    transparently returns a
+    :class:`repro.temporal.symbolic.SymbolicCTLKModelChecker` instead, which
+    runs the same fixed points as BDD pre-images without enumerating a
+    single state.
     """
+
+    def __new__(cls, system, backend=None):
+        if cls is CTLKModelChecker and getattr(system, "is_symbolic_system", False):
+            # Lazy import: the explicit checker must not drag in the symbolic
+            # stack (and the returned object, not being an instance of this
+            # class, skips __init__ below).
+            from repro.temporal.symbolic import _symbolic_checker
+
+            return _symbolic_checker(system, backend)
+        return super().__new__(cls)
 
     def __init__(self, system, backend=None):
         self.system = system
@@ -193,18 +211,34 @@ class CTLKModelChecker:
         self._successors = successors
         self._predecessors = predecessors
         self._cache = {}
+        self._hits = 0
+        self._misses = 0
 
     # -- public API ------------------------------------------------------------------
 
     def extension(self, formula):
-        """Return the set of reachable states satisfying ``formula``."""
+        """Return the set of reachable states satisfying ``formula``.
+
+        Extensions are memoised per formula node across ``extension``/
+        ``holds``/``valid`` calls — structural equality of formulas makes
+        the memo a DAG cache, so a subformula shared between separate
+        queries is computed once (see :meth:`cache_info`)."""
         if formula not in self._cache:
+            self._misses += 1
             self._prefetch_epistemic(formula)
             # A top-level epistemic formula is already cached by the prefetch;
             # recomputing it would pay the modal image a second time.
             if formula not in self._cache:
                 self._cache[formula] = frozenset(self._evaluate(formula))
+        else:
+            self._hits += 1
         return self._cache[formula]
+
+    def cache_info(self):
+        """Observability of the per-formula extension memo: entry count and
+        hit/miss counters of :meth:`extension` lookups (recursive subformula
+        lookups included — shared subformulas show up as hits)."""
+        return {"formulas": len(self._cache), "hits": self._hits, "misses": self._misses}
 
     def holds(self, state, formula):
         """Return ``True`` iff ``formula`` holds at the reachable ``state``."""

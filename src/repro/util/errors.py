@@ -50,6 +50,18 @@ class EngineError(ReproError):
     (unknown backend name, invalid group-relation mode, ...)."""
 
 
+class VariableOrderError(EngineError, ValueError):
+    """Raised by the symbolic kernel when an operation would produce a
+    mis-ordered diagram — a node whose children do not test strictly deeper
+    levels, or a rename mapping that is not order-preserving on the support
+    of its operand.
+
+    The class derives from both :class:`EngineError` (it is an engine-layer
+    failure) and :class:`ValueError` (the caller passed an invalid mapping or
+    node triple), so either idiom catches it.
+    """
+
+
 class ProgramError(ReproError):
     """Raised when a standard or knowledge-based program is malformed, e.g.
     a clause refers to an unknown agent or action."""
