@@ -151,6 +151,37 @@ def _workloads():
     def e13_dining_run_for(n, **kwargs):
         return lambda _: _dining_ctlk(n, **kwargs)
 
+    # E14 — symbolic implementation synthesis.  Each check workload builds a
+    # fresh model and implementation and runs the fixed-point test against
+    # it (the timed body is construct + check; the check's own share lands
+    # in the metrics).  The explicit partner runs under bitset at n=7 — the
+    # largest size where it finishes in seconds; n in {10, 12} is symbolic
+    # territory only.  The symbolic search partner of
+    # e8_implementation_search classifies the same program family on BDD
+    # candidates.
+    from bench_e14_symbolic_synthesis import (
+        _checked,
+        _explicit_candidate,
+        _symbolic_candidate,
+    )
+    from repro.protocols import bit_transmission as bt
+
+    def e14_explicit_check_run(_):
+        return _checked(_explicit_candidate(7), 7)
+
+    def e14_symbolic_check_run_for(n):
+        return lambda _: _checked(_symbolic_candidate(n), n)
+
+    def e14_symbolic_family_run(_):
+        for name, (factory, expected) in sorted(vs.PROGRAM_FAMILY.items()):
+            result = enumerate_implementations(factory(), vs.symbolic_model())
+            assert result.classification == expected
+
+    def e14_symbolic_bt_search_run(_):
+        result = enumerate_implementations(bt.program(), bt.symbolic_model())
+        assert result.classification == "unique"
+        return {"candidates": result.candidates_checked}
+
     return [
         ("e3_muddy_children_solve", e3_setup, e3_run),
         ("e6_fixed_point_chain32", e6_setup, e6_run),
@@ -181,6 +212,32 @@ def _workloads():
             "e13_dining_blocked_order_sift_n8",
             e3_setup,
             e13_dining_run_for(8, blocked=True, reorder=True),
+            ("bdd",),
+        ),
+        ("e14_explicit_check_muddy_n7", e3_setup, e14_explicit_check_run, ("bitset",)),
+        (
+            "e14_symbolic_check_muddy_n7",
+            e3_setup,
+            e14_symbolic_check_run_for(7),
+            ("bdd",),
+        ),
+        (
+            "e14_symbolic_check_muddy_n10",
+            e3_setup,
+            e14_symbolic_check_run_for(10),
+            ("bdd",),
+        ),
+        (
+            "e14_symbolic_check_muddy_n12",
+            e3_setup,
+            e14_symbolic_check_run_for(12),
+            ("bdd",),
+        ),
+        ("e14_symbolic_search_family", e3_setup, e14_symbolic_family_run, ("bdd",)),
+        (
+            "e14_symbolic_search_bit_transmission",
+            e3_setup,
+            e14_symbolic_bt_search_run,
             ("bdd",),
         ),
     ]

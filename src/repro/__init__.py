@@ -40,6 +40,7 @@ from repro.interpretation import (
     enumerate_implementations,
     implements,
     iterate_interpretation,
+    search,
 )
 from repro.programs import AgentProgram, Clause, KnowledgeBasedProgram
 from repro.systems import represent, variable_context
@@ -64,6 +65,7 @@ __all__ = [
     "enumerate_implementations",
     "implements",
     "iterate_interpretation",
+    "search",
     "AgentProgram",
     "Clause",
     "KnowledgeBasedProgram",

@@ -1,4 +1,4 @@
-"""Exhaustive search for all implementations of a knowledge-based program.
+"""The explicit carrier of the exhaustive implementation search.
 
 Because the interpretation functional is not monotone, a program may have no
 implementation, exactly one, or several.  For small models the full space of
@@ -10,8 +10,17 @@ epistemic structure over ``R``, and keep exactly those candidates whose
 generated system reaches precisely ``R``.  This is complete: distinct
 implementations have distinct reachable sets or agree behaviourally.
 
-The search needs the *full* global state space, which is available for
-variable-based contexts (``context.spec``) or can be passed explicitly.
+The candidate loop itself is representation-neutral and lives in
+:func:`repro.interpretation.synthesis.run_candidate_search`; this module
+supplies the explicit primitives (frozenset candidates over an enumerated
+state space, table protocols, ``represent``-based generation).  The public
+dispatching entry points — re-exported here for compatibility — are in
+:mod:`repro.interpretation.synthesis`; the symbolic primitives (BDD
+candidates restricted to the liberal reachable universe) are in
+:mod:`repro.interpretation.symbolic`.
+
+The explicit search needs the *full* global state space, which is available
+for variable-based contexts (``context.spec``) or can be passed explicitly.
 
 Per candidate the protocol is derived through
 :func:`repro.interpretation.functional.derive_protocol`, i.e. the batched
@@ -21,67 +30,25 @@ rather than once per ``(local state, clause)`` pair — the dominant cost of
 the exponential candidate loop.
 """
 
-from itertools import combinations
-
 from repro.interpretation.functional import StateSetView, derive_protocol
+from repro.interpretation.synthesis import (  # noqa: F401  (compat re-exports)
+    ImplementationSearchResult,
+    classify_program,
+    enumerate_implementations,
+    run_candidate_search,
+    search,
+)
 from repro.systems.interpreted_system import represent
 from repro.util.errors import InterpretationError
 from repro.util.helpers import stable_sort_key
 
-
-class ImplementationSearchResult:
-    """All implementations of a program in a context.
-
-    Attributes
-    ----------
-    implementations:
-        List of ``(joint protocol, interpreted system)`` pairs, one per
-        behaviourally distinct implementation, ordered by the number of
-        reachable states.
-    candidates_checked:
-        How many candidate reachable-state sets were examined.
-    classification:
-        ``"contradictory"`` (no implementation), ``"unique"`` or
-        ``"multiple"``.
-    """
-
-    def __init__(self, implementations, candidates_checked):
-        self.implementations = sorted(implementations, key=lambda pair: len(pair[1]))
-        self.candidates_checked = candidates_checked
-
-    @property
-    def classification(self):
-        if not self.implementations:
-            return "contradictory"
-        if len(self.implementations) == 1:
-            return "unique"
-        return "multiple"
-
-    def __len__(self):
-        return len(self.implementations)
-
-    def __iter__(self):
-        return iter(self.implementations)
-
-    def unique(self):
-        """Return the unique implementation, or raise if there is not exactly
-        one."""
-        if len(self.implementations) != 1:
-            raise InterpretationError(
-                f"expected a unique implementation, found {len(self.implementations)}"
-            )
-        return self.implementations[0]
-
-    def reachable_sets(self):
-        """Return the list of reachable-state sets of the implementations."""
-        return [frozenset(system.states) for _, system in self.implementations]
-
-    def __repr__(self):
-        return (
-            f"ImplementationSearchResult({self.classification}, "
-            f"{len(self.implementations)} implementation(s), "
-            f"{self.candidates_checked} candidates checked)"
-        )
+__all__ = [
+    "ImplementationSearchResult",
+    "classify_program",
+    "enumerate_implementations",
+    "enumerate_implementations_explicit",
+    "search",
+]
 
 
 def _full_state_space(context, all_states):
@@ -96,7 +63,47 @@ def _full_state_space(context, all_states):
     return list(spec.state_space.states())
 
 
-def enumerate_implementations(
+class ExplicitSynthesisOps:
+    """Enumerated-state primitives for
+    :func:`repro.interpretation.synthesis.run_candidate_search`: candidates
+    are frozensets of states drawn from the full global state space,
+    derivation tabulates protocols over a :class:`StateSetView`, and
+    generation is :func:`repro.systems.interpreted_system.represent`."""
+
+    def __init__(self, program, context, all_states=None, require_local=True, max_states=100000):
+        self.program = program
+        self.context = context
+        self.require_local = require_local
+        self.max_states = max_states
+        states = _full_state_space(context, all_states)
+        self.initial_set = frozenset(dict.fromkeys(context.initial_states))
+        self.free = [state for state in states if state not in self.initial_set]
+
+    def free_count(self):
+        return len(self.free)
+
+    def free_states(self):
+        return self.free
+
+    def candidate(self, extra):
+        return self.initial_set | frozenset(extra)
+
+    def derive(self, candidate):
+        view = StateSetView(self.context, sorted(candidate, key=stable_sort_key))
+        return derive_protocol(self.program, view, require_local=self.require_local)
+
+    def represent(self, protocol):
+        system = represent(self.context, protocol, max_states=self.max_states)
+        return system, frozenset(system.states)
+
+    def matches(self, reachable, candidate):
+        return reachable == candidate
+
+    def key(self, reachable):
+        return reachable
+
+
+def enumerate_implementations_explicit(
     program,
     context,
     all_states=None,
@@ -104,59 +111,14 @@ def enumerate_implementations(
     require_local=True,
     max_states=100000,
 ):
-    """Enumerate all (behaviourally distinct) implementations of ``program``.
-
-    Parameters
-    ----------
-    all_states:
-        The full global state space; defaults to the state space of a
-        variable-based context.
-    max_free_states:
-        Upper bound on the number of non-initial states (the search is
-        exponential in this number); exceeding it raises
-        :class:`InterpretationError`.
-
-    Returns
-    -------
-    ImplementationSearchResult
-    """
-    states = _full_state_space(context, all_states)
-    initial = list(dict.fromkeys(context.initial_states))
-    initial_set = frozenset(initial)
-    free = [state for state in states if state not in initial_set]
-    if len(free) > max_free_states:
-        raise InterpretationError(
-            f"search space too large: {len(free)} non-initial states "
-            f"(limit {max_free_states}); raise max_free_states to force the search"
-        )
-
-    implementations = []
-    seen_reachable_sets = set()
-    candidates_checked = 0
-    for size in range(len(free) + 1):
-        for extra in combinations(free, size):
-            candidates_checked += 1
-            candidate = initial_set | frozenset(extra)
-            view = StateSetView(context, sorted(candidate, key=stable_sort_key))
-            try:
-                protocol = derive_protocol(program, view, require_local=require_local)
-            except InterpretationError:
-                # A guard is not local over this candidate set; such a
-                # candidate cannot be the reachable set of an implementation
-                # of a well-formed knowledge-based program.
-                continue
-            system = represent(context, protocol, max_states=max_states)
-            reachable = frozenset(system.states)
-            if reachable != candidate:
-                continue
-            if reachable in seen_reachable_sets:
-                continue
-            seen_reachable_sets.add(reachable)
-            implementations.append((protocol, system))
-    return ImplementationSearchResult(implementations, candidates_checked)
-
-
-def classify_program(program, context, **kwargs):
-    """Return ``"contradictory"``, ``"unique"`` or ``"multiple"`` for the
-    program in the context (see :func:`enumerate_implementations`)."""
-    return enumerate_implementations(program, context, **kwargs).classification
+    """The enumerating search worker (see
+    :func:`repro.interpretation.synthesis.enumerate_implementations` for the
+    dispatching public entry point and parameter documentation)."""
+    ops = ExplicitSynthesisOps(
+        program,
+        context,
+        all_states=all_states,
+        require_local=require_local,
+        max_states=max_states,
+    )
+    return run_candidate_search(ops, max_free_states)

@@ -44,18 +44,51 @@ against the *final* system and compared — equality on every decided class
 is exactly the fixed-point property ``P = Pg^{I_rep(P)}`` on reachable
 local states (and the generated system trivially agrees, being built from
 the same frozen protocol).
+
+The synthesis workers complete the picture — the whole search/check layer
+of :mod:`repro.interpretation.synthesis` has symbolic twins here, reached
+transparently through its ``is_symbolic_model`` dispatch:
+
+:func:`check_implementation_symbolic`
+    the fixed-point test: reach the candidate protocol's states by
+    relational images (class-BDD selections via the protocol's
+    ``selection_nodes``, or lazily evaluated per newly met class for
+    arbitrary protocols), re-derive the program's selection over the
+    resulting view, and compare candidate and derived protocols by node-id
+    selection signatures over the occupied classes — behavioural equality
+    without enumerating a single local state;
+:func:`enumerate_implementations_symbolic`
+    the exhaustive search: the candidate universe is the reachable set of
+    the *liberal* protocol (complete — every implementation's selections
+    are a subset of the liberal ones, so its reachable set is too),
+    candidates are that universe's subset BDDs containing the initial
+    states, and the fixed-point filter ``reach(P_R) = R`` is canonical
+    node-id equality;
+:func:`derive_protocol_symbolic`
+    the functional ``Pg^view`` over a symbolic view, one
+    :meth:`~repro.symbolic.model.SymbolicGuardTable.enabled_sets` call per
+    agent instead of a per-local-state loop.
 """
 
 from repro.interpretation.functional import guard_table
 from repro.interpretation.iteration import IterationResult, _fallback_set
+from repro.interpretation.synthesis import (
+    ImplementationReport,
+    run_candidate_search,
+)
 from repro.symbolic.bdd import FALSE, TRUE
 from repro.systems.actions import NOOP_NAME
 from repro.systems.protocols import JointProtocol, Protocol
 from repro.util.errors import InterpretationError, ModelError, ProgramError
+from repro.util.helpers import stable_sort_key
 
 __all__ = [
     "construct_by_rounds_symbolic",
     "iterate_interpretation_symbolic",
+    "check_implementation_symbolic",
+    "enumerate_implementations_symbolic",
+    "derive_protocol_symbolic",
+    "SymbolicImplementationReport",
     "SymbolicSystem",
 ]
 
@@ -371,24 +404,36 @@ def _verify_fixed_point(program, model, seen, decided, selection, require_local)
     return True
 
 
-def _materialise_protocol(program, model, selection, decided):
+def _materialise_protocol(program, model, selection, decided, fallback_on_unknown=True):
     """Wrap the per-agent class BDDs as a standard joint protocol: a lookup
     evaluates each action's class BDD at the local state's observation
     point; local states outside the decided classes get the agent's
-    fallback action (the ``fallback_on_unknown`` convention of the explicit
-    construction)."""
+    fallback action when ``fallback_on_unknown`` is set (the convention of
+    the explicit construction), otherwise looking them up raises — the two
+    conventions of :func:`repro.interpretation.functional.derive_protocol`."""
     encoding = model.encoding
     protocols = {}
     for agent in model.agents:
         entries = tuple(
             (action, node) for action, node in selection[agent].items() if node != FALSE
         )
-        fallback = _fallback_set(program, agent)
+        fallback = _fallback_set(program, agent) if fallback_on_unknown else None
         decided_node = decided[agent]
 
-        def lookup(local_state, entries=entries, fallback=fallback, decided_node=decided_node):
+        def lookup(
+            local_state,
+            agent=agent,
+            entries=entries,
+            fallback=fallback,
+            decided_node=decided_node,
+        ):
             point = dict(local_state)
             if not encoding.evaluate_node(decided_node, point):
+                if fallback is None:
+                    raise ProgramError(
+                        f"protocol of agent {agent!r} has no action for "
+                        f"local state {local_state!r}"
+                    )
                 return fallback
             return frozenset(
                 action
@@ -416,6 +461,311 @@ def _materialise_protocol(program, model, selection, decided):
     return joint
 
 
+# ---------------------------------------------------------------------------
+# synthesis workers (the symbolic carrier of repro.interpretation.synthesis)
+# ---------------------------------------------------------------------------
+
+
+def derive_protocol_symbolic(program, view, require_local=True, fallback_on_unknown=True):
+    """The functional ``Pg^view`` over a symbolic view or system.
+
+    The symbolic twin of
+    :func:`repro.interpretation.functional.derive_protocol` (which
+    dispatches here on the view's ``is_symbolic_view`` marker): instead of
+    tabulating ``enabled_actions`` per local state, one
+    :meth:`~repro.symbolic.model.SymbolicGuardTable.enabled_sets` call per
+    agent decides every occupied class at once, and the result is a
+    materialised joint protocol carrying its class BDDs as
+    ``selection_nodes``.
+    """
+    model = view.model
+    states_node = view.states_node
+    view = model.view(states_node)  # the memoised canonical view of the set
+    table = guard_table(view, program)
+    selection = {
+        agent: table.enabled_sets(
+            agent, view.project(agent, states_node), require_local=require_local
+        )
+        for agent in model.agents
+    }
+    return _materialise_protocol(
+        program,
+        model,
+        selection,
+        _decided_union(model, selection),
+        fallback_on_unknown=fallback_on_unknown,
+    )
+
+
+def _candidate_reach(model, program, joint_protocol):
+    """Reach the states generated by an arbitrary candidate protocol.
+
+    Protocols materialised by the symbolic path carry their behaviour as
+    class BDDs (``selection_nodes``) and go straight through :func:`_reach`
+    — the PR 6 fast path, no state ever enumerated.  Any other joint
+    protocol is evaluated *lazily*: each round, the frontier's newly met
+    local-state classes (per agent) are enumerated and the protocol is
+    asked for its action set at exactly those points, accumulating the same
+    ``action -> class BDD`` selection.  Cost is proportional to the number
+    of distinct local states the candidate actually reaches — the quantity
+    the explicit ``represent`` enumerates anyway — not to the state space.
+
+    Returns ``(states, rounds, selection)``.
+    """
+    nodes = getattr(joint_protocol, "selection_nodes", None)
+    if nodes is not None:
+        selection = {agent: dict(nodes.get(agent, ())) for agent in model.agents}
+        return _reach(program, model, selection)
+    encoding = model.encoding
+    bdd = encoding.bdd
+    selection = {agent: {} for agent in model.agents}
+    covered = {agent: FALSE for agent in model.agents}
+    seen = model.initial
+    frontier = model.initial
+    rounds = 0
+    while frontier != FALSE:
+        rounds += 1
+        for agent in model.agents:
+            new_classes = bdd.diff(_project(model, agent, frontier), covered[agent])
+            if new_classes == FALSE:
+                continue
+            names = model.observables[agent]
+            agent_selection = selection[agent]
+            for assignment in encoding.iter_assignments(new_classes, names):
+                local_state = tuple(sorted(assignment.items()))
+                cube = encoding.cube_node(local_state)
+                for action in joint_protocol.actions(agent, local_state):
+                    agent_selection[action] = bdd.or_(
+                        agent_selection.get(action, FALSE), cube
+                    )
+            covered[agent] = bdd.or_(covered[agent], new_classes)
+        targets = model.successors(frontier, selection)
+        frontier = bdd.diff(targets, seen)
+        seen = bdd.or_(seen, frontier)
+    return seen, rounds, selection
+
+
+class SymbolicImplementationReport(ImplementationReport):
+    """An :class:`~repro.interpretation.synthesis.ImplementationReport`
+    whose verdict was decided on class BDDs.
+
+    ``differences`` is computed lazily on first access — the verdict is
+    node-id signature equality and never enumerates local states; only
+    reading the disagreements enumerates, and then only the classes inside
+    the (usually tiny) symmetric-difference regions, never the agreeing
+    bulk."""
+
+    def __init__(
+        self,
+        is_implementation,
+        system,
+        derived_protocol,
+        candidate_protocol,
+        candidate_selection,
+        derived_selection,
+        occupied,
+    ):
+        super().__init__(is_implementation, system, derived_protocol, differences=None)
+        self._candidate_protocol = candidate_protocol
+        self._candidate_selection = candidate_selection
+        self._derived_selection = derived_selection
+        self._occupied = occupied
+
+    @property
+    def differences(self):
+        if self._differences is None:
+            self._differences = self._compute_differences()
+        return self._differences
+
+    def _compute_differences(self):
+        model = self.system.model
+        encoding = model.encoding
+        bdd = encoding.bdd
+        differences = []
+        for agent in model.agents:
+            occupied = self._occupied[agent]
+            candidate = {
+                action: bdd.and_(classes, occupied)
+                for action, classes in self._candidate_selection.get(agent, {}).items()
+            }
+            derived = {
+                action: bdd.and_(classes, occupied)
+                for action, classes in self._derived_selection.get(agent, {}).items()
+            }
+            region = FALSE
+            for action in set(candidate) | set(derived):
+                c = candidate.get(action, FALSE)
+                d = derived.get(action, FALSE)
+                region = bdd.or_(region, bdd.or_(bdd.diff(c, d), bdd.diff(d, c)))
+            if region == FALSE:
+                continue
+            names = model.observables[agent]
+            locals_here = sorted(
+                (
+                    tuple(sorted(assignment.items()))
+                    for assignment in encoding.iter_assignments(region, names)
+                ),
+                key=stable_sort_key,
+            )
+            for local_state in locals_here:
+                point = dict(local_state)
+                candidate_actions = frozenset(
+                    action
+                    for action, node in candidate.items()
+                    if encoding.evaluate_node(node, point)
+                )
+                derived_actions = frozenset(
+                    action
+                    for action, node in derived.items()
+                    if encoding.evaluate_node(node, point)
+                )
+                differences.append(
+                    (agent, local_state, candidate_actions, derived_actions)
+                )
+        return differences
+
+
+def check_implementation_symbolic(joint_protocol, program, model, require_local=True):
+    """The fixed-point test ``P = Pg^{I_rep(P)}`` entirely on BDDs.
+
+    Generates the candidate's system by relational images
+    (:func:`_candidate_reach`), derives the program's selection over the
+    resulting view (one ``enabled_sets`` call per agent), and compares the
+    two protocols by :func:`_selection_signature` — per agent, the sorted
+    ``(action, class-BDD node id)`` pairs after restriction to the occupied
+    classes.  Canonicity of the ROBDD kernel makes node-id equality exactly
+    behavioural equality on the arising local states, i.e. the same
+    verdict the explicit per-local-state comparison loop reaches.
+    """
+    for agent in program.agents:
+        program.program(agent)  # validate agents exist in the program
+
+    states, rounds, candidate_selection = _candidate_reach(model, program, joint_protocol)
+    view = model.view(states)
+    occupied = {agent: view.project(agent, states) for agent in model.agents}
+    table = guard_table(view, program)
+    derived_selection = {
+        agent: table.enabled_sets(agent, occupied[agent], require_local=require_local)
+        for agent in model.agents
+    }
+    candidate_signature = _selection_signature(model, candidate_selection, occupied)
+    derived_signature = _selection_signature(model, derived_selection, occupied)
+    system = SymbolicSystem(model, states, rounds, selection=candidate_selection)
+    derived_protocol = _materialise_protocol(
+        program, model, derived_selection, _decided_union(model, derived_selection)
+    )
+    return SymbolicImplementationReport(
+        candidate_signature == derived_signature,
+        system,
+        derived_protocol,
+        joint_protocol,
+        candidate_selection,
+        derived_selection,
+        occupied,
+    )
+
+
+class SymbolicSynthesisOps:
+    """BDD primitives for
+    :func:`repro.interpretation.synthesis.run_candidate_search`.
+
+    The candidate universe defaults to the reachable set of the *liberal*
+    protocol (all program-mentioned actions, fallback included, at every
+    class).  This restriction is complete: any implementation's derived
+    selections come from clause actions and the fallback, hence are a
+    pointwise subset of the liberal selection, so its transition relation —
+    and with it its reachable set — is contained in the liberal one.
+    Candidates are subset BDDs of that universe containing the initial
+    states, and because the ROBDD kernel is canonical, the fixed-point
+    filter ``reach(P_R) = R`` and the behavioural dedupe are both plain
+    node-id comparisons.
+    """
+
+    def __init__(self, program, model, all_states=None, require_local=True):
+        for agent in program.agents:
+            program.program(agent)  # validate agents exist in the program
+        self.program = program
+        self.model = model
+        self.require_local = require_local
+        encoding = model.encoding
+        bdd = encoding.bdd
+        if all_states is None:
+            universe, _, _ = _reach(
+                program, model, _seed_selection(program, model, "liberal")
+            )
+        elif isinstance(all_states, int):  # a state-set BDD node
+            universe = all_states
+        else:
+            universe = FALSE
+            for state in all_states:
+                universe = bdd.or_(universe, encoding.state_node(state))
+        self.universe = universe
+        self._free_node = bdd.diff(universe, model.initial)
+
+    def free_count(self):
+        # A BDD model count — the oversized-universe guard never enumerates.
+        return self.model.encoding.count(self._free_node)
+
+    def free_states(self):
+        encoding = self.model.encoding
+        return [
+            encoding.state_node(state) for state in encoding.iter_states(self._free_node)
+        ]
+
+    def candidate(self, extra):
+        bdd = self.model.encoding.bdd
+        node = self.model.initial
+        for cube in extra:
+            node = bdd.or_(node, cube)
+        return node
+
+    def derive(self, candidate):
+        view = self.model.view(candidate)
+        table = guard_table(view, self.program)
+        selection = {
+            agent: table.enabled_sets(
+                agent, view.project(agent, candidate), require_local=self.require_local
+            )
+            for agent in self.model.agents
+        }
+        return _materialise_protocol(
+            self.program, self.model, selection, _decided_union(self.model, selection)
+        )
+
+    def represent(self, protocol):
+        selection = {
+            agent: dict(protocol.selection_nodes.get(agent, ()))
+            for agent in self.model.agents
+        }
+        states, rounds, used = _reach(self.program, self.model, selection)
+        return SymbolicSystem(self.model, states, rounds, selection=used), states
+
+    def matches(self, reachable, candidate):
+        return reachable == candidate  # canonical nodes: id equality is set equality
+
+    def key(self, reachable):
+        return reachable
+
+
+def enumerate_implementations_symbolic(
+    program,
+    model,
+    all_states=None,
+    max_free_states=16,
+    require_local=True,
+):
+    """The symbolic search worker (see
+    :func:`repro.interpretation.synthesis.enumerate_implementations` for the
+    dispatching public entry point and parameter documentation).
+
+    ``all_states`` may override the liberal-reachable candidate universe
+    with an iterable of states or a state-set BDD node."""
+    ops = SymbolicSynthesisOps(
+        program, model, all_states=all_states, require_local=require_local
+    )
+    return run_candidate_search(ops, max_free_states)
+
+
 class SymbolicSystem:
     """The system constructed by the symbolic interpretation: the reachable
     states as a BDD, with knowledge evaluated over them.
@@ -434,6 +784,11 @@ class SymbolicSystem:
 
     #: Dispatch marker for :class:`repro.temporal.ctlk.CTLKModelChecker`.
     is_symbolic_system = True
+
+    #: Dispatch marker for
+    #: :func:`repro.interpretation.functional.derive_protocol` — a symbolic
+    #: system is a symbolic view of its own reachable set.
+    is_symbolic_view = True
 
     def __init__(self, model, states_node, rounds, selection=None):
         self.model = model
@@ -538,6 +893,9 @@ class SymbolicSystem:
     def state_count(self):
         """The number of reachable states (a BDD count, always cheap)."""
         return self._view.state_count()
+
+    def __len__(self):
+        return self.state_count()
 
     def iter_states(self):
         """Enumerate the reachable states (only for small systems)."""

@@ -636,6 +636,14 @@ class SymbolicStateSetView:
     state-set node).
     """
 
+    #: Dispatch marker for
+    #: :func:`repro.interpretation.functional.derive_protocol`: views (and
+    #: systems) carrying it are derived through
+    #: :func:`repro.interpretation.symbolic.derive_protocol_symbolic` —
+    #: per-class ``enabled_sets`` decisions instead of a per-local-state
+    #: tabulation loop.
+    is_symbolic_view = True
+
     def __init__(self, model, states_node):
         if states_node == FALSE:
             raise ModelError("a state-set view needs at least one state")
