@@ -182,6 +182,25 @@ def _workloads():
         assert result.classification == "unique"
         return {"candidates": result.candidates_checked}
 
+    # E15 — the declarative spec layer and the two spec-only zoo members.
+    # Parsing/lowering the whole bundled zoo is engine-independent, so it is
+    # measured once (under bitset); the two constructions are symbolic-only
+    # workloads at sizes the explicit path cannot enumerate.
+    from bench_e15_spec_zoo import (
+        _lower_zoo,
+        _solve_coordinated_attack,
+        _solve_leader_election,
+    )
+
+    def e15_zoo_run(_):
+        _lower_zoo()
+
+    def e15_coordinated_attack_run(_):
+        _solve_coordinated_attack(12)
+
+    def e15_leader_election_run(_):
+        _solve_leader_election(7)
+
     return [
         ("e3_muddy_children_solve", e3_setup, e3_run),
         ("e6_fixed_point_chain32", e6_setup, e6_run),
@@ -238,6 +257,19 @@ def _workloads():
             "e14_symbolic_search_bit_transmission",
             e3_setup,
             e14_symbolic_bt_search_run,
+            ("bdd",),
+        ),
+        ("e15_spec_layer_lower_zoo", e3_setup, e15_zoo_run, ("bitset",)),
+        (
+            "e15_symbolic_construct_coordinated_attack_n12",
+            e3_setup,
+            e15_coordinated_attack_run,
+            ("bdd",),
+        ),
+        (
+            "e15_symbolic_construct_leader_election_n7",
+            e3_setup,
+            e15_leader_election_run,
             ("bdd",),
         ),
     ]

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The spec layer: write a protocol as text, lower it both ways, check a
+knowledge property, and tour the bundled zoo.
+
+Run with::
+
+    python examples/spec_demo.py
+"""
+
+from repro.interpretation import construct_by_rounds
+from repro.logic.formula import Knows, Prop
+from repro.protocols import registered_protocols
+from repro.spec import load_spec, parse_spec
+
+# A two-agent toy written inline: a judge privately flips a verdict bit; a
+# scribe copies it into the record when it knows the verdict is in.
+TOY = """
+protocol toy-verdict
+
+var verdict : bool
+var announced : bool
+var recorded : bool
+
+agent judge
+  observes verdict announced
+  action announce : announced := true
+  if !announced do announce
+end
+
+agent scribe
+  observes announced recorded
+  action record : recorded := true
+  if K[scribe] announced & !recorded do record
+end
+
+init !announced & !recorded
+"""
+
+
+def main():
+    spec = parse_spec(TOY, source="<demo>")
+    print(spec.describe())
+    print()
+
+    # One spec, two lowerings: the explicit context enumerates states, the
+    # symbolic model compiles the same ingredients to BDDs.
+    context = spec.variable_context()
+    model = spec.symbolic_model()
+    program = spec.program()
+
+    explicit = construct_by_rounds(program.check_against_context(context), context)
+    symbolic = construct_by_rounds(program.check_against_context(model), model)
+    print(f"explicit construction: {len(explicit.system)} reachable states")
+    print(f"symbolic construction: {symbolic.system.state_count()} reachable states")
+    assert set(symbolic.system.iter_states()) == set(explicit.system.states)
+
+    # Knowledge chains: once the record exists, the scribe knows the
+    # announcement happened — but never learns the verdict itself.
+    knows_announced = Knows("scribe", Prop("announced"))
+    knows_verdict = Knows("scribe", Prop("verdict"))
+    holds = explicit.system.holds_everywhere
+    print(f"recorded => scribe knows announced: "
+          f"{holds(Prop('recorded') >> knows_announced)}")
+    print(f"scribe ever knows the verdict: "
+          f"{bool(explicit.system.extension(knows_verdict))}")
+    print()
+
+    # The canonical rendering round-trips: parse(to_kbp(spec)) == spec.
+    assert spec.equivalent(parse_spec(spec.to_kbp(), source="<roundtrip>"))
+    print("to_kbp -> parse_spec round trip: ok")
+    print()
+
+    # The whole zoo is spec-backed; every entry follows the same convention.
+    print("the protocol zoo (at each spec's default parameters):")
+    for name, entry in registered_protocols().items():
+        bundled = load_spec(entry.spec_name)
+        print(f"  {name:24s} {bundled.state_space().size():>10} states  "
+              f"- {entry.summary}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,8 +1,18 @@
 """Canonical knowledge-based protocols from the paper and its companion book.
 
-Each module builds the context and the knowledge-based program of one of the
-paper's worked examples and exposes the formulas needed to check the claimed
-properties:
+Every member of the zoo is specified declaratively as a ``.kbp`` file under
+``repro/spec/specs/`` and wrapped by a thin module here; the modules share
+a convention:
+
+* ``spec(**params)`` — the parsed :class:`~repro.spec.ProtocolSpec`;
+* ``context_parts()`` — the context ingredients as a dict, shared verbatim
+  by the explicit and symbolic paths;
+* ``context()`` — the explicit :class:`~repro.modeling.VariableContext`;
+* ``symbolic_model()`` — the enumeration-free
+  :class:`~repro.modeling.symbolic_model.SymbolicContextModel`;
+* ``program()`` — the knowledge-based program(s) of the spec;
+
+plus the formulas of the properties checked in EXPERIMENTS.md.  The zoo:
 
 * :mod:`repro.protocols.bit_transmission` — sender/receiver over lossy
   channels; the knowledge-based program with guards ``!K_S K_R(bit)`` and
@@ -19,22 +29,110 @@ properties:
 * :mod:`repro.protocols.unexpected_examination` — the surprise-examination
   puzzle as a knowledge-based program;
 * :mod:`repro.protocols.dining_cryptographers` — anonymous announcement
-  protocol, used as an additional knowledge-checking workload.
+  protocol, used as an additional knowledge-checking workload;
+* :mod:`repro.protocols.coordinated_attack` — the Halpern–Moses chain of
+  generals over lossy messengers (spec-only; symbolic workload);
+* :mod:`repro.protocols.leader_election` — election on a synchronous
+  unidirectional ring from a single knowledge guard (spec-only; symbolic
+  workload).
 """
+
+from collections import namedtuple
 
 from repro.protocols import (
     bit_transmission,
+    coordinated_attack,
     dining_cryptographers,
+    leader_election,
     muddy_children,
     sequence_transmission,
     unexpected_examination,
     variable_setting,
 )
 
+#: One zoo entry: the wrapper module, the bundled ``.kbp`` spec it loads,
+#: the names of its tunable spec parameters, and a one-line summary.
+RegisteredProtocol = namedtuple(
+    "RegisteredProtocol", ("name", "module", "spec_name", "parameters", "summary")
+)
+
+
+def registered_protocols():
+    """The protocol zoo as an ordered ``name -> RegisteredProtocol`` dict.
+
+    Every entry's module follows the shared convention above, so generic
+    tooling (the ``python -m repro.spec`` CLI, the benchmark drivers, the
+    differential tests) can iterate the zoo without special cases.
+    """
+    entries = [
+        RegisteredProtocol(
+            "bit_transmission",
+            bit_transmission,
+            bit_transmission.SPEC_NAME,
+            (),
+            "sender/receiver bit over lossy channels (paper's running example)",
+        ),
+        RegisteredProtocol(
+            "variable_setting",
+            variable_setting,
+            variable_setting.SPEC_NAME,
+            (),
+            "one-agent micro-programs with zero, one and several implementations",
+        ),
+        RegisteredProtocol(
+            "muddy_children",
+            muddy_children,
+            muddy_children.SPEC_NAME,
+            ("n", "max_round"),
+            "the muddy-children puzzle as a synchronous program",
+        ),
+        RegisteredProtocol(
+            "sequence_transmission",
+            sequence_transmission,
+            sequence_transmission.SPEC_NAME,
+            ("length",),
+            "bit-string transmission over lossy channels",
+        ),
+        RegisteredProtocol(
+            "unexpected_examination",
+            unexpected_examination,
+            unexpected_examination.SPEC_NAME,
+            ("num_days",),
+            "the surprise-examination puzzle",
+        ),
+        RegisteredProtocol(
+            "dining_cryptographers",
+            dining_cryptographers,
+            dining_cryptographers.SPEC_NAME,
+            ("n",),
+            "anonymous announcement on a ring of cryptographers",
+        ),
+        RegisteredProtocol(
+            "coordinated_attack",
+            coordinated_attack,
+            coordinated_attack.SPEC_NAME,
+            ("n",),
+            "chain of generals over lossy messengers (impossibility)",
+        ),
+        RegisteredProtocol(
+            "leader_election",
+            leader_election,
+            leader_election.SPEC_NAME,
+            ("n", "max_round"),
+            "election on a synchronous ring from one knowledge guard",
+        ),
+    ]
+    return {entry.name: entry for entry in entries}
+
+
 __all__ = [
+    "RegisteredProtocol",
     "bit_transmission",
+    "coordinated_attack",
     "dining_cryptographers",
+    "leader_election",
     "muddy_children",
+    "registered_protocols",
     "sequence_transmission",
     "unexpected_examination",
     "variable_setting",

@@ -13,9 +13,10 @@ the value of the bit").  Losing a message is modelled by the ``*_fail``
 variants of the actions, which are enabled by the same guards but have no
 effect.
 
-The module provides the context, the program, the standard protocol that the
-paper identifies as the (unique) implementation, and the formulas of the
-properties checked in EXPERIMENTS.md:
+The protocol is specified declaratively in ``repro/spec/specs/
+bit_transmission.kbp``; this module is a thin wrapper that loads the spec
+and re-exports the derived artefacts, plus the formulas of the properties
+checked in EXPERIMENTS.md:
 
 * ``EF K_R(bit)`` and ``EF K_S K_R(bit)`` hold initially;
 * ``EF K_R K_S K_R(bit)`` does *not* hold (the receiver can never find out
@@ -24,9 +25,7 @@ properties checked in EXPERIMENTS.md:
 """
 
 from repro.logic.formula import Knows, Not, Or, Prop
-from repro.modeling import Assignment, StateSpace, boolean, var
-from repro.programs import AgentProgram, Clause, KnowledgeBasedProgram
-from repro.systems import variable_context
+from repro.spec import load_spec
 
 SENDER = "S"
 RECEIVER = "R"
@@ -36,6 +35,13 @@ SBIT = "sbit"
 RBIT = "rbit"
 SNT = "snt"
 ACK = "ack"
+
+SPEC_NAME = "bit_transmission"
+
+
+def spec():
+    """The parsed :class:`~repro.spec.ProtocolSpec` of the protocol."""
+    return load_spec(SPEC_NAME)
 
 
 def receiver_knows_bit():
@@ -55,27 +61,7 @@ def receiver_knows_sender_knows():
 
 def context_parts():
     """The context ingredients, shared by the explicit and symbolic paths."""
-    sbit = boolean(SBIT)
-    rbit = boolean(RBIT)
-    snt = boolean(SNT)
-    ack = boolean(ACK)
-    space = StateSpace([sbit, rbit, snt, ack])
-    return dict(
-        name="bit-transmission",
-        state_space=space,
-        observables={SENDER: [SBIT, ACK], RECEIVER: [RBIT, SNT]},
-        actions={
-            SENDER: {
-                "send_ok": Assignment({RBIT: var(sbit), SNT: True}),
-                "send_fail": Assignment({}),
-            },
-            RECEIVER: {
-                "ack_ok": Assignment({ACK: True}),
-                "ack_fail": Assignment({}),
-            },
-        },
-        initial=(~var(rbit)) & (~var(snt)) & (~var(ack)),
-    )
+    return spec().context_parts()
 
 
 def context():
@@ -87,29 +73,17 @@ def context():
     ``snt``.  Initially ``rbit``, ``snt`` and ``ack`` are false and ``sbit``
     is arbitrary (two initial states).
     """
-    return variable_context(**context_parts())
+    return spec().variable_context()
 
 
-def symbolic_model():
+def symbolic_model(**kwargs):
     """The enumeration-free compiled form of the same context."""
-    from repro.symbolic.model import SymbolicContextModel
-
-    return SymbolicContextModel(**context_parts())
+    return spec().symbolic_model(**kwargs)
 
 
 def program():
     """The knowledge-based program of the bit-transmission problem."""
-    sender_guard = Not(sender_knows_receiver_knows())
-    receiver_guard = receiver_knows_bit() & Not(receiver_knows_sender_knows())
-    sender_program = AgentProgram(
-        SENDER,
-        [Clause(sender_guard, "send_ok"), Clause(sender_guard, "send_fail")],
-    )
-    receiver_program = AgentProgram(
-        RECEIVER,
-        [Clause(receiver_guard, "ack_ok"), Clause(receiver_guard, "ack_fail")],
-    )
-    return KnowledgeBasedProgram([sender_program, receiver_program])
+    return spec().program()
 
 
 def expected_reachable_labels():

@@ -18,15 +18,18 @@ knowledge-checking workload (experiment E9):
 """
 
 from repro.logic.formula import CommonKnows, Knows, Not, Prop, disj
-from repro.modeling import Assignment, StateSpace, boolean, var
-from repro.programs import (
-    AgentProgram,
-    Clause,
-    KnowledgeBasedProgram,
-    StandardAgentProgram,
-    StandardProgram,
-)
-from repro.systems import represent, variable_context
+from repro.programs import StandardAgentProgram, StandardProgram
+from repro.spec import load_spec
+from repro.systems import represent
+
+SPEC_NAME = "dining_cryptographers"
+
+
+def spec(n=3):
+    """The parsed :class:`~repro.spec.ProtocolSpec` for ``n`` cryptographers."""
+    if n < 3:
+        raise ValueError("the protocol needs at least three cryptographers")
+    return load_spec(SPEC_NAME, n=n)
 
 
 def crypto(i):
@@ -50,51 +53,10 @@ def context_parts(n=3):
 
     Shared by :func:`context` (the explicit pipeline) and
     :func:`symbolic_model` (the enumeration-free one), so both construct
-    from literally the same specification.
+    from literally the same specification
+    (``repro/spec/specs/dining_cryptographers.kbp``).
     """
-    if n < 3:
-        raise ValueError("the protocol needs at least three cryptographers")
-    paid_vars = [boolean(f"paid{i}") for i in range(n)]
-    coin_vars = [boolean(f"coin{i}") for i in range(n)]
-    say_vars = [boolean(f"say{i}") for i in range(n)]
-    done = boolean("done")
-    space = StateSpace(paid_vars + coin_vars + say_vars + [done])
-
-    observables = {}
-    for i in range(n):
-        observed = [f"paid{i}", f"coin{i}", f"coin{(i - 1) % n}", "done"]
-        observed += [f"say{j}" for j in range(n)]
-        observables[crypto(i)] = observed
-
-    def announce_effect(i):
-        left = var(space.variable(f"coin{(i - 1) % n}"))
-        right = var(space.variable(f"coin{i}"))
-        paid_self = var(space.variable(f"paid{i}"))
-        # say_i := coin_left XOR coin_right XOR paid_i
-        return Assignment({f"say{i}": (left != right) != paid_self})
-
-    actions = {crypto(i): {"announce": announce_effect(i)} for i in range(n)}
-
-    # At most one cryptographer paid.
-    at_most_one = None
-    for i in range(n):
-        for j in range(i + 1, n):
-            pair = ~(var(paid_vars[i]) & var(paid_vars[j]))
-            at_most_one = pair if at_most_one is None else (at_most_one & pair)
-
-    initial = ~var(done)
-    for say in say_vars:
-        initial = initial & (~var(say))
-
-    return dict(
-        name=f"dining-cryptographers-{n}",
-        state_space=space,
-        observables=observables,
-        actions=actions,
-        initial=initial,
-        env_effects={"finish": Assignment({"done": True})},
-        global_constraint=at_most_one,
-    )
+    return spec(n).context_parts()
 
 
 def context(n=3):
@@ -106,7 +68,7 @@ def context(n=3):
     per cryptographer and a ``done`` flag.  Cryptographer ``i`` observes its
     two coins, whether it paid itself, all announcements and ``done``.
     """
-    return variable_context(**context_parts(n))
+    return spec(n).variable_context()
 
 
 def ring_variable_order(n):
@@ -136,19 +98,16 @@ def blocked_variable_order(n):
 
 def symbolic_model(n=3, variable_order=None):
     """The enumeration-free compiled form of the same context — a
-    :class:`repro.symbolic.model.SymbolicContextModel` built from
-    :func:`context_parts` without enumerating a single state.
+    :class:`repro.symbolic.model.SymbolicContextModel` built from the spec
+    without enumerating a single state.
 
-    ``variable_order`` defaults to :func:`ring_variable_order`; pass
-    :func:`blocked_variable_order` (or any other order) to study how the
-    declared order shapes the diagrams, e.g. as the adversarial starting
-    point of the dynamic-reordering benchmark.
+    ``variable_order`` defaults to the spec's declared ``order`` hint
+    (:func:`ring_variable_order`); pass :func:`blocked_variable_order` (or
+    any other order) to study how the declared order shapes the diagrams,
+    e.g. as the adversarial starting point of the dynamic-reordering
+    benchmark.
     """
-    from repro.symbolic.model import SymbolicContextModel
-
-    if variable_order is None:
-        variable_order = ring_variable_order(n)
-    return SymbolicContextModel(**context_parts(n), variable_order=variable_order)
+    return spec(n).symbolic_model(variable_order=variable_order)
 
 
 def program(n=3):
@@ -158,11 +117,7 @@ def program(n=3):
     epistemic and temporal-epistemic properties of the generated system —
     but this form runs through both interpretation pipelines, explicit and
     symbolic."""
-    programs = [
-        AgentProgram(crypto(i), [Clause(Not(Prop("done")), "announce")])
-        for i in range(n)
-    ]
-    return KnowledgeBasedProgram(programs)
+    return spec(n).program()
 
 
 def protocol_program(n=3):

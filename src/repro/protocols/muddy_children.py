@@ -16,7 +16,10 @@ The knowledge-based program of child ``i`` is::
 with a round counter advanced by the environment in every step.  The context
 is synchronous (every child can read the round off its local state), so the
 program has a unique implementation and the depth-stratified construction
-computes it.  The classical result reproduced in EXPERIMENTS.md:
+computes it.  The whole family is specified declaratively in
+``repro/spec/specs/muddy_children.kbp`` (parameters ``n`` and ``max_round``);
+this module wraps the spec.  The classical result reproduced in
+EXPERIMENTS.md:
 
 * with ``k`` muddy children, every muddy child first *knows* its status at
   round ``k - 1`` and first *answers yes* in round ``k``;
@@ -26,10 +29,19 @@ computes it.  The classical result reproduced in EXPERIMENTS.md:
 
 from itertools import product as _product
 
-from repro.logic.formula import Knows, Not, Or, Prop, conj
-from repro.modeling import Assignment, StateSpace, boolean, ite, ranged, var
-from repro.programs import AgentProgram, Clause, KnowledgeBasedProgram
-from repro.systems import variable_context
+from repro.logic.formula import Knows, Not, Or, Prop
+from repro.spec import load_spec
+
+SPEC_NAME = "muddy_children"
+
+
+def spec(n, max_round=None):
+    """The parsed :class:`~repro.spec.ProtocolSpec` for ``n`` children."""
+    if n < 1:
+        raise ValueError("need at least one child")
+    if max_round is None:
+        return load_spec(SPEC_NAME, n=n)
+    return load_spec(SPEC_NAME, n=n, max_round=max_round)
 
 
 def child(i):
@@ -62,68 +74,7 @@ def context_parts(n, max_round=None):
     :func:`symbolic_model` (the enumeration-free one), so both construct
     from literally the same specification.
     """
-    if n < 1:
-        raise ValueError("need at least one child")
-    if max_round is None:
-        max_round = n + 1
-    muddy_vars = [boolean(f"muddy{i}") for i in range(n)]
-    said_vars = [boolean(f"said{i}") for i in range(n)]
-    round_var = ranged("round", 0, max_round)
-    heard_var = ranged("heard", 0, max_round)
-    space = StateSpace(muddy_vars + said_vars + [round_var, heard_var])
-
-    observables = {}
-    for i in range(n):
-        observed = [f"muddy{j}" for j in range(n) if j != i]
-        observed += [f"said{j}" for j in range(n)]
-        observed += ["round", "heard"]
-        observables[child(i)] = observed
-
-    actions = {
-        child(i): {
-            "say_yes": Assignment({f"said{i}": True}),
-            "say_no": Assignment({f"said{i}": False}),
-        }
-        for i in range(n)
-    }
-
-    at_least_one_muddy = None
-    anyone_said = None
-    for muddy_variable, said_variable in zip(muddy_vars, said_vars):
-        muddy_term = var(muddy_variable)
-        said_term = var(said_variable)
-        at_least_one_muddy = (
-            muddy_term if at_least_one_muddy is None else (at_least_one_muddy | muddy_term)
-        )
-        anyone_said = said_term if anyone_said is None else (anyone_said | said_term)
-    initial = at_least_one_muddy & (var(round_var) == 0) & (var(heard_var) == 0)
-    for variable in said_vars:
-        initial = initial & (~var(variable))
-
-    tick = Assignment(
-        {
-            "round": ite(
-                var(round_var) < max_round, var(round_var) + 1, var(round_var)
-            ),
-            # Record the first round whose answers contained a "yes": the
-            # `said` values in the pre-state are the answers given in round
-            # `round`, so that is the value to latch.
-            "heard": ite(
-                var(heard_var) != 0,
-                var(heard_var),
-                ite(anyone_said, var(round_var), 0),
-            ),
-        }
-    )
-
-    return dict(
-        name=f"muddy-children-{n}",
-        state_space=space,
-        observables=observables,
-        actions=actions,
-        initial=initial,
-        env_effects={"tick": tick},
-    )
+    return spec(n, max_round=max_round).context_parts()
 
 
 def context(n, max_round=None):
@@ -140,17 +91,17 @@ def context(n, max_round=None):
     father's announcement), ``said_i = false``, ``round = 0`` and
     ``heard = 0``.
     """
-    return variable_context(**context_parts(n, max_round=max_round))
+    return spec(n, max_round=max_round).variable_context()
 
 
 def symbolic_model(n, max_round=None):
     """The enumeration-free compiled form of the same context — a
-    :class:`repro.symbolic.model.SymbolicContextModel` built from
-    :func:`context_parts` without enumerating a single state, usable at
-    sizes where the explicit context cannot even be constructed
-    (``StateSpace.size()`` is ``≈ 5·10^14`` at ``n = 20``).
+    :class:`repro.symbolic.model.SymbolicContextModel` built from the spec
+    without enumerating a single state, usable at sizes where the explicit
+    context cannot even be constructed (``StateSpace.size()`` is
+    ``≈ 5·10^14`` at ``n = 20``).
 
-    The BDD variable order interleaves each child's ``muddy_i`` with its
+    The spec's ``order`` hint interleaves each child's ``muddy_i`` with its
     ``said_i`` (with the round counters on top): a child's answer is a
     function of its muddiness and the round, so keeping the pair adjacent
     keeps the reachable-set BDD polynomial, whereas the state space's
@@ -158,28 +109,12 @@ def symbolic_model(n, max_round=None):
     diagram to remember the entire muddiness pattern across the ``said``
     block.
     """
-    from repro.symbolic.model import SymbolicContextModel
-
-    order = ["round", "heard"]
-    for i in range(n):
-        order += [f"muddy{i}", f"said{i}"]
-    return SymbolicContextModel(
-        **context_parts(n, max_round=max_round), variable_order=order
-    )
+    return spec(n, max_round=max_round).symbolic_model()
 
 
 def program(n):
     """The joint knowledge-based program of ``n`` children."""
-    programs = []
-    for i in range(n):
-        programs.append(
-            AgentProgram(
-                child(i),
-                [Clause(knows_own_status(i), "say_yes")],
-                fallback="say_no",
-            )
-        )
-    return KnowledgeBasedProgram(programs)
+    return spec(n).program()
 
 
 def initial_state_for_pattern(context_, muddy_pattern):

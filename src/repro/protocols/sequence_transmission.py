@@ -2,9 +2,12 @@
 
 A sender ``S`` must transmit a finite bit string to a receiver ``R`` over
 channels that may lose messages in either direction.  This module contains
-two models, both built directly on the generic :class:`repro.systems.context.Context`
-API (rather than the variable DSL), mirroring the development in the paper's
-companion book (ch. 7):
+three models, mirroring the development in the paper's companion book
+(ch. 7).  The first two are built directly on the generic
+:class:`repro.systems.context.Context` API; the third (:func:`spec`,
+:func:`context_parts`, :func:`symbolic_model`) is the declarative variable
+model from ``repro/spec/specs/sequence_transmission.kbp``, which follows
+the zoo's shared convention and also runs enumeration-free:
 
 1. **The knowledge-based specification** (:func:`kb_context`,
    :func:`kb_program`): the sender keeps transmitting bit ``i`` as long as it
@@ -319,3 +322,61 @@ def prefix_ok_formula():
 def sender_knows_received(i):
     """``K_S r_has_i`` — the sender knows the receiver holds bit ``i``."""
     return Knows(SENDER, r_has(i))
+
+
+# ---------------------------------------------------------------------------
+# The variable-model spec (the zoo's shared context_parts() convention)
+# ---------------------------------------------------------------------------
+
+SPEC_NAME = "sequence_transmission"
+
+
+def spec(length=2):
+    """The parsed :class:`~repro.spec.ProtocolSpec` of the variable model
+    (``repro/spec/specs/sequence_transmission.kbp``).
+
+    Unlike :func:`kb_context` — which abstracts the channels with a raw
+    transition function — this model is declarative: static ``bit_i``
+    variables, received copies ``rbit_i``, the counters ``nrcvd``/``sacked``
+    and lossy ``*_ok``/``*_fail`` action pairs, so it lowers to both the
+    explicit and the symbolic path.
+    """
+    from repro.spec import load_spec
+
+    if length < 1:
+        raise ValueError("the sequence must have at least one bit")
+    return load_spec(SPEC_NAME, length=length)
+
+
+def context_parts(length=2):
+    """The context ingredients, shared by the explicit and symbolic paths."""
+    return spec(length).context_parts()
+
+
+def context(length=2):
+    """The explicit variable-model context (see :func:`spec`)."""
+    return spec(length).variable_context()
+
+
+def symbolic_model(length=2, **kwargs):
+    """The enumeration-free compiled form of the same context."""
+    return spec(length).symbolic_model(**kwargs)
+
+
+def program(length=2):
+    """The knowledge-based program of the variable model."""
+    return spec(length).program()
+
+
+def solve(length=2, method="iterate"):
+    """Interpret the variable-model program and return the
+    :class:`repro.interpretation.iteration.IterationResult`."""
+    from repro.interpretation import construct_by_rounds, iterate_interpretation
+
+    ctx = context(length)
+    prog = program(length).check_against_context(ctx)
+    if method == "iterate":
+        return iterate_interpretation(prog, ctx)
+    if method == "rounds":
+        return construct_by_rounds(prog, ctx)
+    raise ValueError(f"unknown method {method!r}")

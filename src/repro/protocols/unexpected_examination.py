@@ -14,6 +14,11 @@ the day and whether the exam has been written, the teacher observes
 everything.  The context is synchronous (the day is the round), so the
 program has a unique implementation.
 
+The protocol is specified declaratively in
+``repro/spec/specs/unexpected_examination.kbp`` (parameter ``num_days``);
+this module wraps the spec and follows the zoo's shared
+``context_parts()``/``symbolic_model()`` convention.
+
 The classical resolution reproduced in EXPERIMENTS.md: the exam *can* be held
 as a surprise on any of the days ``0..3`` (in particular mid-week), but not
 on the last day — if the exam is scheduled for day 4 it is never written,
@@ -21,14 +26,19 @@ because on the morning of day 4 the class would know.
 """
 
 from repro.logic.formula import Knows, Not, Prop, disj
-from repro.modeling import Assignment, StateSpace, boolean, ite, ranged, var
-from repro.programs import AgentProgram, Clause, KnowledgeBasedProgram
-from repro.systems import variable_context
+from repro.spec import load_spec
 
 TEACHER = "T"
 CLASS = "P"
 
 NUM_DAYS = 5
+
+SPEC_NAME = "unexpected_examination"
+
+
+def spec(num_days=NUM_DAYS):
+    """The parsed :class:`~repro.spec.ProtocolSpec` of the protocol."""
+    return load_spec(SPEC_NAME, num_days=num_days)
 
 
 def exam_today_formula(num_days=NUM_DAYS):
@@ -55,6 +65,11 @@ def surprise_possible_guard(num_days=NUM_DAYS):
     )
 
 
+def context_parts(num_days=NUM_DAYS):
+    """The context ingredients, shared by the explicit and symbolic paths."""
+    return spec(num_days).context_parts()
+
+
 def context(num_days=NUM_DAYS):
     """Build the surprise-examination context.
 
@@ -62,29 +77,17 @@ def context(num_days=NUM_DAYS):
     static) and ``written``.  The class observes ``day`` and ``written``; the
     teacher observes everything.
     """
-    day = ranged("day", 0, num_days)
-    exam = ranged("exam", 0, num_days - 1)
-    written = boolean("written")
-    space = StateSpace([day, exam, written])
-    tick = Assignment({"day": ite(var(day) < num_days, var(day) + 1, var(day))})
-    return variable_context(
-        f"unexpected-examination-{num_days}",
-        space,
-        observables={TEACHER: ["day", "exam", "written"], CLASS: ["day", "written"]},
-        actions={
-            TEACHER: {"hold_exam": Assignment({"written": True})},
-            CLASS: {},
-        },
-        initial=(var(day) == 0) & (~var(written)),
-        env_effects={"tick": tick},
-    )
+    return spec(num_days).variable_context()
+
+
+def symbolic_model(num_days=NUM_DAYS, **kwargs):
+    """The enumeration-free compiled form of the same context."""
+    return spec(num_days).symbolic_model(**kwargs)
 
 
 def program(num_days=NUM_DAYS):
     """The teacher's knowledge-based program (the class only observes)."""
-    teacher = AgentProgram(TEACHER, [Clause(surprise_possible_guard(num_days), "hold_exam")])
-    observer = AgentProgram(CLASS, [])
-    return KnowledgeBasedProgram([teacher, observer])
+    return spec(num_days).program()
 
 
 def solve(num_days=NUM_DAYS, method="rounds"):

@@ -22,138 +22,76 @@ reachability that makes knowledge-based programs subtle:
 * :func:`speculative_program` — the combination whose *unique*
   implementation cannot be found by iteration from either seed and requires
   the exhaustive search.
+
+The context and the whole program family are specified declaratively in
+``repro/spec/specs/variable_setting.kbp`` (one named ``program`` block per
+family member); this module is a thin wrapper over the spec.
 """
 
-from repro.logic.formula import Knows, Possible
-from repro.modeling import StateSpace, ranged, var
-from repro.programs import AgentProgram, Clause, KnowledgeBasedProgram
-from repro.systems import variable_context
+from repro.spec import load_spec
 
 AGENT = "a"
 
+SPEC_NAME = "variable_setting"
 
-def _state_space():
-    return StateSpace([ranged("x", 0, 3)])
+
+def spec():
+    """The parsed :class:`~repro.spec.ProtocolSpec` of the family."""
+    return load_spec(SPEC_NAME)
 
 
 def context_parts():
     """The context ingredients, shared by the explicit and symbolic paths."""
-    space = _state_space()
-    x = space.variable("x")
-    return dict(
-        name="variable-setting",
-        state_space=space,
-        observables={AGENT: []},
-        actions={
-            AGENT: {
-                "set1": {"x": 1},
-                "set2": {"x": 2},
-                "set3": {"x": 3},
-            }
-        },
-        initial=(var(x) == 0),
-    )
+    return spec().context_parts()
 
 
 def context():
     """The shared context: blind agent ``a``, ``x in 0..3``, initially 0,
     actions ``set1``, ``set2``, ``set3`` writing the corresponding value."""
-    return variable_context(**context_parts())
+    return spec().variable_context()
 
 
-def symbolic_model():
+def symbolic_model(**kwargs):
     """The enumeration-free compiled form of the same context."""
-    from repro.symbolic.model import SymbolicContextModel
-
-    return SymbolicContextModel(**context_parts())
+    return spec().symbolic_model(**kwargs)
 
 
-def _knows_not_value(value):
-    """``K_a (x != value)`` as a propositional-epistemic formula."""
-    space = _state_space()
-    x = space.variable("x")
-    return Knows(AGENT, (var(x) != value).to_formula())
-
-
-def _possible_value(value):
-    """``M_a (x = value)``."""
-    space = _state_space()
-    x = space.variable("x")
-    return Possible(AGENT, (var(x) == value).to_formula())
+def program(name="cyclic"):
+    """The named family member's knowledge-based program (the zoo's shared
+    accessor; see :data:`PROGRAM_FAMILY` for the names)."""
+    return spec().program(name)
 
 
 def cyclic_program():
     """Two implementations; iteration oscillates (the paper's Exercise 7.5
     style example)."""
-    return KnowledgeBasedProgram(
-        [
-            AgentProgram(
-                AGENT,
-                [
-                    Clause(_knows_not_value(2), "set1"),
-                    Clause(_knows_not_value(1), "set2"),
-                ],
-            )
-        ]
-    )
+    return spec().program("cyclic")
 
 
 def cycle_breaking_program():
     """Unique implementation, reached constructively: the unconditional
     branch forces ``x=1`` to be reachable, which settles both knowledge
     guards."""
-    space = _state_space()
-    x = space.variable("x")
-    true_guard = (var(x) == var(x)).to_formula()
-    return KnowledgeBasedProgram(
-        [
-            AgentProgram(
-                AGENT,
-                [
-                    Clause(_knows_not_value(1), "set3"),
-                    Clause(_knows_not_value(3), "set2"),
-                    Clause(true_guard, "set1"),
-                ],
-            )
-        ]
-    )
+    return spec().program("cycle_breaking")
 
 
 def contradictory_program():
     """No implementation: ``x:=1`` is performed exactly when ``x=1`` is not
     reachable."""
-    return KnowledgeBasedProgram(
-        [AgentProgram(AGENT, [Clause(_knows_not_value(1), "set1")])]
-    )
+    return spec().program("contradictory")
 
 
 def self_fulfilling_program():
     """Two implementations: ``x:=1`` is performed exactly when ``x=1`` is
     reachable, so both "never" and "always" are consistent."""
-    return KnowledgeBasedProgram(
-        [AgentProgram(AGENT, [Clause(_possible_value(1), "set1")])]
-    )
+    return spec().program("self_fulfilling")
 
 
 def speculative_program():
     """Unique implementation (reachable set ``{0, 1}``) that iteration
     misses: finding it requires ruling out the alternative ``{0, 2}`` because
     that one would trigger the contradictory third branch."""
-    space = _state_space()
-    x = space.variable("x")
-    third_guard = Knows(AGENT, ((var(x) != 1) & (var(x) != 3)).to_formula())
-    return KnowledgeBasedProgram(
-        [
-            AgentProgram(
-                AGENT,
-                [
-                    Clause(_knows_not_value(2), "set1"),
-                    Clause(_knows_not_value(1), "set2"),
-                    Clause(third_guard, "set3"),
-                ],
-            )
-        ]
-    )
+    return spec().program("speculative")
 
 
 PROGRAM_FAMILY = {

@@ -1,0 +1,116 @@
+"""Declarative protocol specs — the ``.kbp`` grammar and its lowerings.
+
+The paper treats a knowledge-based program as a *specification*: variables
+an environment acts on, what each agent observes, the actions it may take,
+and guarded clauses over knowledge formulas.  This package makes that
+specification a first-class object, :class:`ProtocolSpec`, with a small
+textual grammar and two lowerings sharing one source of truth:
+
+- ``spec.variable_context()`` — the explicit path
+  (:func:`repro.systems.variable_context.variable_context`);
+- ``spec.symbolic_model()`` — the enumeration-free path
+  (:class:`repro.symbolic.model.SymbolicContextModel`), honouring the
+  spec's declared ``order`` hint.
+
+``spec.program(name)`` builds the corresponding
+:class:`~repro.programs.knowledge_based.KnowledgeBasedProgram`.  The
+bundled zoo specs live in ``repro/spec/specs/*.kbp`` and are loaded with
+:func:`load_spec`.
+
+Grammar reference
+=================
+
+A spec is line-oriented.  ``#`` starts a comment; blank lines are ignored;
+``agent``, ``program`` and ``foreach`` open blocks closed by ``end``.
+
+Top-level directives::
+
+    protocol NAME              # display name (may use {meta} templates)
+    param NAME = META          # integer parameter; overridable at load time
+    var NAME : bool            # a boolean state variable
+    var NAME : LO..HI          # an integer-ranged variable (bounds: meta-exprs)
+    order NAME...              # BDD variable-order hint (appending; when
+                               # present, the lines must total a permutation)
+    let NAME = FORMULA         # formula macro, referenced as $NAME in guards
+    env NAME [: UPDATES]       # an environment action
+    init EXPR                  # initial condition (multiple lines conjoin)
+    constraint EXPR            # global state constraint (multiple conjoin)
+
+Agent blocks declare observability, actions, and the default (``main``)
+program's clauses::
+
+    agent NAME
+      observes NAME...         # appending; a line may list zero names
+      action NAME [: UPDATES]  # UPDATES = "var := EXPR; var := EXPR; ..."
+      if FORMULA do ACTION     # a clause of the agent's KB program
+      otherwise ACTION         # fallback (defaults to noop)
+    end
+
+Alternative programs for the same spec (e.g. the variable-setting family)
+are named ``program`` blocks containing agent blocks with only
+``if``/``otherwise`` lines::
+
+    program NAME
+      agent NAME
+        if FORMULA do ACTION
+      end
+    end
+
+Parameterised *families* use meta-expansion, evaluated before parsing:
+
+- ``{META}`` substitutes the integer (or boolean) value of a meta
+  expression over ``param`` values and enclosing ``foreach`` variables —
+  e.g. ``muddy{i}``, ``coin{(i-1) % n}``, ``ite(day < {num_days}, ...)``.
+- ``foreach i in LO..HI [where META] ... end`` repeats its body lines
+  (variable/agent/clause/init declarations, nestable).
+- ``any(i in LO..HI [where META] : BODY)`` / ``all(...)`` unroll inside
+  expressions and formulas to ``|``/``&`` chains (empty range: ``false`` /
+  ``true``).
+
+Expressions (effects, ``init``, ``constraint``, and guard atoms) support
+``true``/``false``, integer literals, variables, ``+ - * %``, comparisons
+``== != < <= > >=``, boolean ``! & |`` and ``ite(c, t, e)``.  Formulas
+(guards, ``let`` bodies) combine boolean atoms with ``! & |``, let
+references ``$NAME``, and the modalities ``K[a]``, ``M[a]`` (possibility),
+``E[a,b,...]``, ``C[a,b,...]``, ``D[a,b,...]``; parentheses group either
+level.  Guard atoms compile through
+:meth:`~repro.modeling.expressions.Expression.to_formula`, so they land on
+the state-space labelling convention (bare name for booleans,
+``name=value`` otherwise).
+
+Validation (:func:`validate_spec`, run automatically after parsing and by
+the lowerings' callers) reports spec-level mistakes — unknown variables,
+overlapping write sets across agents/environment, out-of-domain constants,
+non-permutation order hints, undeclared clause actions — as
+:class:`~repro.util.errors.SpecError` with file/line positions, *before*
+any model is built.
+"""
+
+from repro.spec.ir import (
+    DEFAULT_PROGRAM,
+    AgentClauses,
+    ProtocolSpec,
+    is_boolean_expression,
+    render_expression,
+    render_formula,
+)
+from repro.spec.library import bundled_spec_names, bundled_spec_path, load_spec
+from repro.spec.parser import parse_spec, parse_spec_file
+from repro.spec.validate import validate_spec
+from repro.util.errors import SpecError
+
+__all__ = [
+    "AgentClauses",
+    "DEFAULT_PROGRAM",
+    "ProtocolSpec",
+    "SpecError",
+    "bundled_spec_names",
+    "bundled_spec_path",
+    "is_boolean_expression",
+    "load_spec",
+    "parse_spec",
+    "parse_spec_file",
+    "render_expression",
+    "render_formula",
+    "validate_spec",
+]

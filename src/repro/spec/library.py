@@ -1,0 +1,57 @@
+"""Loading bundled and external ``.kbp`` protocol specs.
+
+The protocol zoo's specs ship inside the package, under
+``repro/spec/specs/``.  :func:`load_spec` accepts either a bundled name
+(``"muddy_children"``) or a filesystem path (anything containing a path
+separator or ending in ``.kbp``), with keyword arguments overriding the
+spec's declared ``param`` defaults::
+
+    spec = load_spec("muddy_children", n=4)
+    context = spec.variable_context()
+    model = spec.symbolic_model()
+"""
+
+import os
+
+from repro.spec.parser import parse_spec_file
+from repro.util.errors import SpecError
+
+__all__ = ["bundled_spec_names", "bundled_spec_path", "load_spec"]
+
+_SPEC_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "specs")
+_SPEC_SUFFIX = ".kbp"
+
+
+def bundled_spec_names():
+    """Sorted names of the specs bundled with the library."""
+    return sorted(
+        entry[: -len(_SPEC_SUFFIX)]
+        for entry in os.listdir(_SPEC_DIR)
+        if entry.endswith(_SPEC_SUFFIX)
+    )
+
+
+def bundled_spec_path(name):
+    """Filesystem path of the bundled spec called ``name``."""
+    path = os.path.join(_SPEC_DIR, name + _SPEC_SUFFIX)
+    if not os.path.exists(path):
+        raise SpecError(
+            f"no bundled spec {name!r} (available: {', '.join(bundled_spec_names())})"
+        )
+    return path
+
+
+def load_spec(name_or_path, **params):
+    """Parse a bundled spec by name, or any ``.kbp`` file by path.
+
+    Keyword arguments override the spec's ``param`` defaults (values must
+    be integers); unknown parameter names are rejected.
+    """
+    candidate = str(name_or_path)
+    if os.sep in candidate or candidate.endswith(_SPEC_SUFFIX):
+        path = candidate
+        if not os.path.exists(path):
+            raise SpecError(f"spec file not found: {path}")
+    else:
+        path = bundled_spec_path(candidate)
+    return parse_spec_file(path, **params)

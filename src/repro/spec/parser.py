@@ -1,0 +1,894 @@
+"""Parser for the textual ``.kbp`` protocol grammar.
+
+The grammar is line-oriented; see the :mod:`repro.spec` package docstring
+for the full reference.  Parsing proceeds in three phases:
+
+1. **Lines and blocks** — comments (``#``) are stripped, blank lines are
+   dropped, and ``agent``/``foreach``/``program`` ... ``end`` blocks are
+   matched into a tree.
+2. **Meta expansion** — each line is *textually* expanded under the
+   current meta environment (``param`` values plus enclosing ``foreach``
+   loop variables): ``any(i in lo..hi : body)`` / ``all(...)`` folds are
+   unrolled into ``|``/``&`` chains, and ``{meta-expr}`` substitutions are
+   evaluated to integer (or boolean) literals.  This is what makes
+   parameterised protocol *families* (``muddy{i}``, ``coin{(i-1) % n}``)
+   expressible in a flat grammar.
+3. **Expression/formula parsing** — the expanded text is tokenized and
+   parsed into :mod:`repro.modeling.expressions` trees (effects, ``init``,
+   ``constraint``) or :mod:`repro.logic.formula` trees (guards).  Guard
+   atoms are comparison-level boolean expressions compiled through
+   :meth:`Expression.to_formula`, so they land on exactly the ``"x=v"``
+   atom convention of the state-space labelling.
+
+Every error is reported as a :class:`repro.util.errors.SpecError` carrying
+the source name and 1-based line number.
+"""
+
+import re
+
+from repro.logic.formula import (
+    FALSE,
+    TRUE,
+    And,
+    CommonKnows,
+    DistributedKnows,
+    EveryoneKnows,
+    Knows,
+    Not,
+    Or,
+    Possible,
+)
+from repro.modeling.expressions import (
+    BinaryOp,
+    BoolOp,
+    Comparison,
+    Const,
+    Ite,
+    NotOp,
+    VarRef,
+)
+from repro.modeling.state_space import Assignment
+from repro.modeling.variables import boolean, ranged
+from repro.spec.ir import DEFAULT_PROGRAM, AgentClauses, ProtocolSpec, is_boolean_expression
+from repro.systems.actions import NOOP_NAME
+from repro.util.errors import SpecError
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_TOKEN_RE = re.compile(
+    r"(?P<ws>\s+)"
+    r"|(?P<number>\d+)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<let>\$[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op>:=|==|!=|<=|>=|<|>|=|&|\||!|\+|-|\*|%|\(|\)|\[|\]|,|;|:)"
+)
+_FOLD_RE = re.compile(r"\b(any|all)\s*\(")
+_BRACE_RE = re.compile(r"\{([^{}]*)\}")
+_CMP_OPS = ("==", "!=", "<=", ">=", "<", ">", "=")
+_MODALITIES = {"K", "M", "E", "C", "D"}
+
+
+def _tokenize(text, source=None, line=None):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SpecError(
+                f"unexpected character {text[pos]!r} in {text.strip()!r}",
+                source=source,
+                line=line,
+            )
+        pos = match.end()
+        if match.lastgroup != "ws":
+            tokens.append((match.lastgroup, match.group()))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _ExprParser:
+    """Recursive-descent parser over a token list.
+
+    ``resolve`` maps an identifier to an :class:`Expression` — a
+    :class:`VarRef` for spec expressions, a :class:`Const` for meta
+    expressions.  ``lets`` (formula macros) and ``check_atom`` (domain
+    check for guard atoms) are only used on the formula side.
+    """
+
+    def __init__(self, tokens, resolve, source=None, line=None, lets=None, check_atom=None):
+        self.tokens = tokens
+        self.i = 0
+        self.resolve = resolve
+        self.source = source
+        self.line = line
+        self.lets = lets or {}
+        self.check_atom = check_atom
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _error(self, message):
+        return SpecError(message, source=self.source, line=self.line)
+
+    def peek(self):
+        return self.tokens[self.i]
+
+    def advance(self):
+        token = self.tokens[self.i]
+        self.i += 1
+        return token
+
+    def at_op(self, *ops):
+        kind, value = self.peek()
+        return kind == "op" and value in ops
+
+    def expect_op(self, op):
+        kind, value = self.advance()
+        if kind != "op" or value != op:
+            raise self._error(f"expected {op!r}, got {value!r}")
+
+    def expect_ident(self, what="identifier"):
+        kind, value = self.advance()
+        if kind != "ident":
+            raise self._error(f"expected {what}, got {value!r}")
+        return value
+
+    def expect_eof(self):
+        kind, value = self.peek()
+        if kind != "eof":
+            raise self._error(f"unexpected trailing input {value!r}")
+
+    # -- expressions -------------------------------------------------------
+
+    def parse_expression(self):
+        return self._expr_or()
+
+    def _expr_or(self):
+        operands = [self._expr_and()]
+        while self.at_op("|"):
+            self.advance()
+            operands.append(self._expr_and())
+        return operands[0] if len(operands) == 1 else BoolOp("or", operands)
+
+    def _expr_and(self):
+        operands = [self._expr_not()]
+        while self.at_op("&"):
+            self.advance()
+            operands.append(self._expr_not())
+        return operands[0] if len(operands) == 1 else BoolOp("and", operands)
+
+    def _expr_not(self):
+        if self.at_op("!"):
+            self.advance()
+            return NotOp(self._expr_not())
+        return self._expr_cmp()
+
+    def _expr_cmp(self):
+        left = self._expr_sum()
+        if self.at_op(*_CMP_OPS):
+            _, op = self.advance()
+            right = self._expr_sum()
+            return Comparison("==" if op == "=" else op, left, right)
+        return left
+
+    def _expr_sum(self):
+        left = self._expr_term()
+        while self.at_op("+", "-"):
+            _, op = self.advance()
+            left = BinaryOp(op, left, self._expr_term())
+        return left
+
+    def _expr_term(self):
+        left = self._expr_factor()
+        while self.at_op("*", "%"):
+            _, op = self.advance()
+            left = BinaryOp(op, left, self._expr_factor())
+        return left
+
+    def _expr_factor(self):
+        kind, value = self.peek()
+        if kind == "number":
+            self.advance()
+            return Const(int(value))
+        if kind == "op" and value == "-":
+            self.advance()
+            nkind, nvalue = self.peek()
+            if nkind != "number":
+                raise self._error("unary '-' is only supported on integer literals")
+            self.advance()
+            return Const(-int(nvalue))
+        if kind == "op" and value == "(":
+            self.advance()
+            inner = self.parse_expression()
+            self.expect_op(")")
+            return inner
+        if kind == "let":
+            raise self._error(
+                f"let-defined formula {value!r} cannot be used inside an expression "
+                "(lets are guard formulas)"
+            )
+        if kind == "ident":
+            if value == "true":
+                self.advance()
+                return Const(True)
+            if value == "false":
+                self.advance()
+                return Const(False)
+            if value == "ite" and self.tokens[self.i + 1] == ("op", "("):
+                self.advance()
+                self.expect_op("(")
+                condition = self.parse_expression()
+                self.expect_op(",")
+                then = self.parse_expression()
+                self.expect_op(",")
+                otherwise = self.parse_expression()
+                self.expect_op(")")
+                return Ite(condition, then, otherwise)
+            self.advance()
+            return self.resolve(value)
+        raise self._error(f"expected an expression, got {value!r}")
+
+    # -- formulas ----------------------------------------------------------
+
+    def parse_formula(self):
+        return self._f_or()
+
+    def _f_or(self):
+        operands = [self._f_and()]
+        while self.at_op("|"):
+            self.advance()
+            operands.append(self._f_and())
+        # Constant folding keeps degenerate folds (empty any/all) canonical,
+        # matching the simplification the expression route applies.
+        if any(operand == TRUE for operand in operands):
+            return TRUE
+        operands = [operand for operand in operands if operand != FALSE]
+        if not operands:
+            return FALSE
+        return operands[0] if len(operands) == 1 else Or(operands)
+
+    def _f_and(self):
+        operands = [self._f_unary()]
+        while self.at_op("&"):
+            self.advance()
+            operands.append(self._f_unary())
+        if any(operand == FALSE for operand in operands):
+            return FALSE
+        operands = [operand for operand in operands if operand != TRUE]
+        if not operands:
+            return TRUE
+        return operands[0] if len(operands) == 1 else And(operands)
+
+    def _f_unary(self):
+        kind, value = self.peek()
+        if kind == "op" and value == "!":
+            self.advance()
+            return Not(self._f_unary())
+        if kind == "ident" and value in _MODALITIES and self.tokens[self.i + 1] == ("op", "["):
+            self.advance()
+            self.expect_op("[")
+            agents = [self.expect_ident("agent name")]
+            while self.at_op(","):
+                self.advance()
+                agents.append(self.expect_ident("agent name"))
+            self.expect_op("]")
+            operand = self._f_unary()
+            if value in ("K", "M"):
+                if len(agents) != 1:
+                    raise self._error(f"{value}[...] takes exactly one agent, got {agents!r}")
+                return (Knows if value == "K" else Possible)(agents[0], operand)
+            group_cls = {"E": EveryoneKnows, "C": CommonKnows, "D": DistributedKnows}[value]
+            return group_cls(tuple(agents), operand)
+        return self._f_atom()
+
+    def _f_atom(self):
+        kind, value = self.peek()
+        if kind == "let":
+            name = value[1:]
+            if name not in self.lets:
+                raise self._error(
+                    f"unknown let ${name} (known: {sorted(self.lets) or 'none'})"
+                )
+            self.advance()
+            return self.lets[name]
+        # Try a comparison-level boolean expression; on failure, backtrack
+        # and re-parse a parenthesized formula (needed for e.g. ``(K[a] p)``).
+        start = self.i
+        try:
+            expr = self._expr_cmp()
+        except SpecError:
+            self.i = start
+            if self.at_op("("):
+                self.advance()
+                inner = self.parse_formula()
+                self.expect_op(")")
+                return inner
+            raise
+        if not is_boolean_expression(expr):
+            raise self._error(
+                f"guard atom {expr} is not boolean (comparisons and boolean "
+                "variables are allowed; bare arithmetic is not)"
+            )
+        if self.check_atom is not None:
+            self.check_atom(expr)
+        return expr.to_formula()
+
+
+# -- meta expansion ------------------------------------------------------------
+
+
+def _meta_eval(text, env, source, line):
+    def resolve(name):
+        if name in env:
+            return Const(env[name])
+        raise SpecError(
+            f"unknown parameter {name!r} in meta expression {text.strip()!r} "
+            f"(known: {sorted(env) or 'none'})",
+            source=source,
+            line=line,
+        )
+
+    parser = _ExprParser(_tokenize(text, source, line), resolve, source, line)
+    expression = parser.parse_expression()
+    parser.expect_eof()
+    return expression.evaluate({})
+
+
+def _substitute_braces(text, env, source, line):
+    while True:
+        match = _BRACE_RE.search(text)
+        if match is None:
+            return text
+        value = _meta_eval(match.group(1), env, source, line)
+        if value is True:
+            rendered = "true"
+        elif value is False:
+            rendered = "false"
+        else:
+            rendered = str(value)
+        text = text[: match.start()] + rendered + text[match.end():]
+
+
+def _matching_paren(text, open_index, source, line):
+    depth = 0
+    for index in range(open_index, len(text)):
+        if text[index] == "(":
+            depth += 1
+        elif text[index] == ")":
+            depth -= 1
+            if depth == 0:
+                return index
+    raise SpecError(f"unbalanced parentheses in {text.strip()!r}", source=source, line=line)
+
+
+def _split_fold(inner, source, line):
+    depth = 0
+    for index, char in enumerate(inner):
+        if char in "([":
+            depth += 1
+        elif char in ")]":
+            depth -= 1
+        elif char == ":" and depth == 0:
+            return inner[:index], inner[index + 1:]
+    raise SpecError(
+        f"fold is missing its ':' separator: {inner.strip()!r}", source=source, line=line
+    )
+
+
+def _parse_fold_header(header, env, source, line):
+    header = _substitute_braces(header, env, source, line).strip()
+    match = re.match(r"^([A-Za-z_][A-Za-z0-9_]*)\s+in\s+(.*)$", header)
+    if match is None:
+        raise SpecError(
+            f"malformed fold header {header!r} (expected 'IDENT in lo..hi [where cond]')",
+            source=source,
+            line=line,
+        )
+    loop_var, bounds = match.group(1), match.group(2)
+    where = None
+    if " where " in bounds:
+        bounds, where = bounds.split(" where ", 1)
+    pieces = bounds.split("..")
+    if len(pieces) != 2:
+        raise SpecError(
+            f"malformed fold range {bounds.strip()!r} (expected 'lo..hi')",
+            source=source,
+            line=line,
+        )
+    low = _meta_eval(pieces[0], env, source, line)
+    high = _meta_eval(pieces[1], env, source, line)
+    return loop_var, low, high, where
+
+
+def _expand_text(text, env, source, line):
+    """Expand ``any``/``all`` folds and ``{meta}`` substitutions in a line."""
+    while True:
+        match = _FOLD_RE.search(text)
+        if match is None:
+            break
+        kind = match.group(1)
+        open_index = match.end() - 1
+        close_index = _matching_paren(text, open_index, source, line)
+        header, body = _split_fold(text[open_index + 1 : close_index], source, line)
+        loop_var, low, high, where = _parse_fold_header(header, env, source, line)
+        pieces = []
+        for value in range(low, high + 1):
+            sub_env = dict(env)
+            sub_env[loop_var] = value
+            if where is not None and not _meta_eval(where, sub_env, source, line):
+                continue
+            pieces.append("(" + _expand_text(body, sub_env, source, line) + ")")
+        if pieces:
+            joiner = " | " if kind == "any" else " & "
+            replacement = "(" + joiner.join(pieces) + ")"
+        else:
+            replacement = "false" if kind == "any" else "true"
+        text = text[: match.start()] + replacement + text[close_index + 1:]
+    return _substitute_braces(text, env, source, line)
+
+
+# -- line/block structure ------------------------------------------------------
+
+
+class _Block:
+    __slots__ = ("kind", "header", "line", "children")
+
+    def __init__(self, kind, header, line):
+        self.kind = kind
+        self.header = header
+        self.line = line
+        self.children = []
+
+
+_BLOCK_KEYWORDS = ("agent", "foreach", "program")
+
+
+def _build_tree(text, source):
+    root = _Block("root", "", 0)
+    stack = [root]
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        keyword = line.split(None, 1)[0]
+        rest = line[len(keyword):].strip()
+        if keyword == "end":
+            if rest:
+                raise SpecError("'end' takes no arguments", source=source, line=lineno)
+            if len(stack) == 1:
+                raise SpecError("unmatched 'end'", source=source, line=lineno)
+            stack.pop()
+        elif keyword in _BLOCK_KEYWORDS:
+            block = _Block(keyword, rest, lineno)
+            stack[-1].children.append(block)
+            stack.append(block)
+        else:
+            stack[-1].children.append((lineno, line))
+    if len(stack) > 1:
+        raise SpecError(
+            f"unclosed {stack[-1].kind!r} block", source=source, line=stack[-1].line
+        )
+    return root
+
+
+# -- the builder ---------------------------------------------------------------
+
+
+class _Builder:
+    def __init__(self, source, overrides):
+        self.source = source
+        self.overrides = dict(overrides or {})
+        self.used_overrides = set()
+        self.name = None
+        self.params = {}
+        self.variables = []
+        self.var_index = {}
+        self.order = []
+        self.lets = {}
+        self.observables = {}
+        self.actions = {}
+        self.env_effects = {}
+        self.inits = []
+        self.constraints = []
+        self.programs = {DEFAULT_PROGRAM: {}}
+
+    def _error(self, message, line=None):
+        return SpecError(message, source=self.source, line=line)
+
+    def _meta_env(self, loop_env):
+        env = dict(self.params)
+        env.update(loop_env)
+        return env
+
+    def _resolve_spec_ident(self, name, line):
+        variable = self.var_index.get(name)
+        if variable is None:
+            raise self._error(
+                f"unknown variable {name!r} (declared: "
+                f"{', '.join(sorted(self.var_index)) or 'none'})",
+                line,
+            )
+        return VarRef(variable)
+
+    def _spec_parser(self, text, line, with_lets=False):
+        tokens = _tokenize(text, self.source, line)
+        return _ExprParser(
+            tokens,
+            lambda name: self._resolve_spec_ident(name, line),
+            self.source,
+            line,
+            lets=self.lets if with_lets else None,
+            check_atom=lambda expr: _check_comparison_constants(expr, self.source, line),
+        )
+
+    def _parse_spec_expression(self, text, line, boolean_required=True):
+        parser = self._spec_parser(text, line)
+        expression = parser.parse_expression()
+        parser.expect_eof()
+        if boolean_required and not is_boolean_expression(expression):
+            raise self._error(f"expected a boolean expression, got {expression}", line)
+        _check_comparison_constants(expression, self.source, line)
+        return expression
+
+    def _parse_updates(self, text, line, owner):
+        updates = {}
+        for piece in text.split(";"):
+            piece = piece.strip()
+            if not piece:
+                continue
+            parser = self._spec_parser(piece, line)
+            target = parser.expect_ident("variable name")
+            if target not in self.var_index:
+                raise self._error(
+                    f"unknown variable {target!r} written by {owner}", line
+                )
+            parser.expect_op(":=")
+            expression = parser.parse_expression()
+            parser.expect_eof()
+            _check_comparison_constants(expression, self.source, line)
+            if target in updates:
+                raise self._error(f"{owner} writes {target!r} twice", line)
+            updates[target] = expression
+        return Assignment(updates)
+
+    # -- walking -----------------------------------------------------------
+
+    def walk(self, block, loop_env, context):
+        for child in block.children:
+            if isinstance(child, _Block):
+                self._enter_block(child, loop_env, context)
+            else:
+                lineno, text = child
+                expanded = _expand_text(text, self._meta_env(loop_env), self.source, lineno)
+                self._line(expanded, lineno, loop_env, context)
+
+    def _enter_block(self, block, loop_env, context):
+        if block.kind == "foreach":
+            loop_var, low, high, where = _parse_fold_header(
+                block.header, self._meta_env(loop_env), self.source, block.line
+            )
+            for value in range(low, high + 1):
+                sub_env = dict(loop_env)
+                sub_env[loop_var] = value
+                if where is not None and not _meta_eval(
+                    where, self._meta_env(sub_env), self.source, block.line
+                ):
+                    continue
+                self.walk(block, sub_env, context)
+            return
+        if block.kind == "agent":
+            name = _expand_text(
+                block.header, self._meta_env(loop_env), self.source, block.line
+            ).strip()
+            if not _IDENT_RE.match(name):
+                raise self._error(f"invalid agent name {name!r}", block.line)
+            if context[0] == "top":
+                if name in self.observables:
+                    raise self._error(f"duplicate agent {name!r}", block.line)
+                self.observables[name] = []
+                self.actions[name] = {}
+                self.walk(block, loop_env, ("agent", name, DEFAULT_PROGRAM))
+            elif context[0] == "program":
+                if name not in self.observables:
+                    raise self._error(
+                        f"program {context[1]!r} mentions unknown agent {name!r}",
+                        block.line,
+                    )
+                self.walk(block, loop_env, ("agent", name, context[1]))
+            else:
+                raise self._error("agent blocks cannot be nested", block.line)
+            return
+        if block.kind == "program":
+            if context[0] != "top":
+                raise self._error(
+                    "program blocks are only allowed at the top level", block.line
+                )
+            name = block.header.strip()
+            if not _IDENT_RE.match(name):
+                raise self._error(f"invalid program name {name!r}", block.line)
+            if name == DEFAULT_PROGRAM:
+                raise self._error(
+                    f"program name {DEFAULT_PROGRAM!r} is reserved for the "
+                    "clauses declared inside agent blocks",
+                    block.line,
+                )
+            if name in self.programs:
+                raise self._error(f"duplicate program {name!r}", block.line)
+            self.programs[name] = {}
+            self.walk(block, loop_env, ("program", name))
+            return
+        raise self._error(f"unknown block {block.kind!r}", block.line)
+
+    def _clause_slot(self, agent, program):
+        return self.programs[program].setdefault(
+            agent, {"clauses": [], "fallback": None}
+        )
+
+    def _line(self, text, lineno, loop_env, context):
+        keyword = text.split(None, 1)[0]
+        rest = text[len(keyword):].strip()
+        if context[0] == "agent":
+            self._agent_line(keyword, rest, lineno, context)
+            return
+        if context[0] == "program":
+            raise self._error(
+                f"only agent blocks are allowed inside a program block, got {keyword!r}",
+                lineno,
+            )
+        handler = getattr(self, f"_top_{keyword}", None)
+        if handler is None:
+            raise self._error(f"unknown directive {keyword!r}", lineno)
+        handler(rest, lineno, loop_env)
+
+    # -- top-level directives ----------------------------------------------
+
+    def _top_protocol(self, rest, lineno, loop_env):
+        if self.name is not None:
+            raise self._error("duplicate 'protocol' line", lineno)
+        if not rest:
+            raise self._error("'protocol' needs a name", lineno)
+        self.name = rest
+
+    def _top_param(self, rest, lineno, loop_env):
+        if loop_env:
+            raise self._error("'param' is not allowed inside foreach", lineno)
+        if "=" not in rest:
+            raise self._error("expected 'param NAME = default'", lineno)
+        name, default = rest.split("=", 1)
+        name = name.strip()
+        if not _IDENT_RE.match(name):
+            raise self._error(f"invalid parameter name {name!r}", lineno)
+        if name in self.params:
+            raise self._error(f"duplicate parameter {name!r}", lineno)
+        if name in self.overrides:
+            value = self.overrides[name]
+            self.used_overrides.add(name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise self._error(
+                    f"parameter {name!r} must be an integer, got {value!r}", lineno
+                )
+        else:
+            value = _meta_eval(default, self.params, self.source, lineno)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise self._error(
+                    f"default of parameter {name!r} must be an integer, got {value!r}",
+                    lineno,
+                )
+        self.params[name] = value
+
+    def _top_var(self, rest, lineno, loop_env):
+        if ":" not in rest:
+            raise self._error("expected 'var NAME : bool' or 'var NAME : lo..hi'", lineno)
+        name, domain = rest.split(":", 1)
+        name = name.strip()
+        domain = domain.strip()
+        if not _IDENT_RE.match(name):
+            raise self._error(f"invalid variable name {name!r}", lineno)
+        if name in self.var_index:
+            raise self._error(f"duplicate variable {name!r}", lineno)
+        if domain == "bool":
+            variable = boolean(name)
+        else:
+            pieces = domain.split("..")
+            if len(pieces) != 2:
+                raise self._error(
+                    f"invalid domain {domain!r} (expected 'bool' or 'lo..hi')", lineno
+                )
+            env = self._meta_env(loop_env)
+            low = _meta_eval(pieces[0], env, self.source, lineno)
+            high = _meta_eval(pieces[1], env, self.source, lineno)
+            if high < low:
+                raise self._error(f"empty domain {low}..{high} for {name!r}", lineno)
+            variable = ranged(name, low, high)
+        self.variables.append(variable)
+        self.var_index[name] = variable
+
+    def _top_order(self, rest, lineno, loop_env):
+        for name in rest.split():
+            if name not in self.var_index:
+                raise self._error(f"unknown variable {name!r} in order hint", lineno)
+            self.order.append(name)
+
+    def _top_let(self, rest, lineno, loop_env):
+        if "=" not in rest:
+            raise self._error("expected 'let NAME = formula'", lineno)
+        name, body = rest.split("=", 1)
+        name = name.strip()
+        if not _IDENT_RE.match(name):
+            raise self._error(f"invalid let name {name!r}", lineno)
+        if name in self.lets:
+            raise self._error(f"duplicate let {name!r}", lineno)
+        parser = self._spec_parser(body, lineno, with_lets=True)
+        formula = parser.parse_formula()
+        parser.expect_eof()
+        self.lets[name] = formula
+
+    def _top_env(self, rest, lineno, loop_env):
+        name, _, updates = rest.partition(":")
+        name = name.strip()
+        if not _IDENT_RE.match(name):
+            raise self._error(f"invalid environment action name {name!r}", lineno)
+        if name in self.env_effects:
+            raise self._error(f"duplicate environment action {name!r}", lineno)
+        self.env_effects[name] = self._parse_updates(
+            updates, lineno, f"environment action {name!r}"
+        )
+
+    def _top_init(self, rest, lineno, loop_env):
+        self.inits.append(self._parse_spec_expression(rest, lineno))
+
+    def _top_constraint(self, rest, lineno, loop_env):
+        self.constraints.append(self._parse_spec_expression(rest, lineno))
+
+    # -- agent-block directives --------------------------------------------
+
+    def _agent_line(self, keyword, rest, lineno, context):
+        _, agent, program = context
+        in_program_block = program != DEFAULT_PROGRAM
+        if keyword == "observes":
+            if in_program_block:
+                raise self._error("'observes' is not allowed inside a program block", lineno)
+            for name in rest.split():
+                if name not in self.var_index:
+                    raise self._error(
+                        f"unknown variable {name!r} in observes of agent {agent!r}",
+                        lineno,
+                    )
+                self.observables[agent].append(name)
+            return
+        if keyword == "action":
+            if in_program_block:
+                raise self._error("'action' is not allowed inside a program block", lineno)
+            name, _, updates = rest.partition(":")
+            name = name.strip()
+            if not _IDENT_RE.match(name):
+                raise self._error(f"invalid action name {name!r}", lineno)
+            if name in self.actions[agent]:
+                raise self._error(
+                    f"duplicate action {name!r} of agent {agent!r}", lineno
+                )
+            self.actions[agent][name] = self._parse_updates(
+                updates, lineno, f"action {name!r} of agent {agent!r}"
+            )
+            return
+        if keyword == "if":
+            parser = self._spec_parser(rest, lineno, with_lets=True)
+            guard = parser.parse_formula()
+            do_word = parser.expect_ident("'do'")
+            if do_word != "do":
+                raise self._error(f"expected 'do', got {do_word!r}", lineno)
+            action = parser.expect_ident("action name")
+            parser.expect_eof()
+            from repro.programs import Clause
+
+            self._clause_slot(agent, program)["clauses"].append(Clause(guard, action))
+            return
+        if keyword == "otherwise":
+            if not _IDENT_RE.match(rest):
+                raise self._error(f"invalid fallback action {rest!r}", lineno)
+            slot = self._clause_slot(agent, program)
+            if slot["fallback"] is not None:
+                raise self._error(
+                    f"duplicate 'otherwise' for agent {agent!r}", lineno
+                )
+            slot["fallback"] = rest
+            return
+        raise self._error(
+            f"unknown directive {keyword!r} inside agent block", lineno
+        )
+
+    # -- assembly ----------------------------------------------------------
+
+    def finish(self):
+        if self.name is None:
+            raise self._error("spec is missing its 'protocol' line")
+        unknown = set(self.overrides) - self.used_overrides
+        if unknown:
+            raise self._error(
+                f"unknown parameter override(s) {sorted(unknown)} "
+                f"(declared parameters: {sorted(self.params) or 'none'})"
+            )
+        if not self.inits:
+            initial = Const(True)
+        elif len(self.inits) == 1:
+            initial = self.inits[0]
+        else:
+            initial = BoolOp("and", self.inits)
+        if not self.constraints:
+            constraint = None
+        elif len(self.constraints) == 1:
+            constraint = self.constraints[0]
+        else:
+            constraint = BoolOp("and", self.constraints)
+        programs = {}
+        for prog_name, table in self.programs.items():
+            programs[prog_name] = {
+                agent: AgentClauses(
+                    slot["clauses"],
+                    slot["fallback"] if slot["fallback"] is not None else NOOP_NAME,
+                )
+                for agent, slot in table.items()
+            }
+        spec = ProtocolSpec(
+            name=self.name,
+            variables=self.variables,
+            observables=self.observables,
+            actions=self.actions,
+            initial=initial,
+            env_effects=self.env_effects,
+            global_constraint=constraint,
+            variable_order=self.order or None,
+            programs=programs,
+            params=self.params,
+            source=self.source,
+        )
+        return spec.validate()
+
+
+def _check_comparison_constants(expression, source, line):
+    """Reject ``==``/``!=`` comparisons of a variable against a constant
+    outside its domain — almost always a typo, and silently constant
+    otherwise.  Recurses through the whole expression tree."""
+    if isinstance(expression, Comparison) and expression.op in ("==", "!="):
+        pairs = (
+            (expression.left, expression.right),
+            (expression.right, expression.left),
+        )
+        for ref, other in pairs:
+            if isinstance(ref, VarRef) and isinstance(other, Const):
+                if not ref.variable.contains(other.value):
+                    raise SpecError(
+                        f"constant {other.value!r} is outside the domain of "
+                        f"variable {ref.variable.name!r} "
+                        f"(domain: {list(ref.variable.domain)})",
+                        source=source,
+                        line=line,
+                    )
+    for attr in ("left", "right", "operand", "condition", "then", "otherwise"):
+        child = getattr(expression, attr, None)
+        if child is not None:
+            _check_comparison_constants(child, source, line)
+    for child in getattr(expression, "operands", ()):
+        _check_comparison_constants(child, source, line)
+
+
+# -- public API ----------------------------------------------------------------
+
+
+def parse_spec(text, params=None, source=None):
+    """Parse ``.kbp`` text into a validated :class:`ProtocolSpec`.
+
+    ``params`` overrides the spec's declared ``param`` defaults (all values
+    must be integers); ``source`` names the spec in error messages.
+    """
+    tree = _build_tree(text, source)
+    builder = _Builder(source, params)
+    builder.walk(tree, {}, ("top",))
+    return builder.finish()
+
+
+def parse_spec_file(path, **params):
+    """Parse a ``.kbp`` file (see :func:`parse_spec`)."""
+    import os
+
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_spec(text, params=params, source=os.path.basename(str(path)))

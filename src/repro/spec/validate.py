@@ -1,0 +1,303 @@
+"""Spec-level validation — precise errors *before* lowering.
+
+:func:`validate_spec` checks a :class:`~repro.spec.ir.ProtocolSpec` for the
+classes of mistakes that would otherwise surface as obscure failures deep in
+the explicit or symbolic lowering (or worse, as silently-wrong models):
+
+- no agents, duplicate variables, duplicate agents;
+- unknown variables in observability lists, order hints, effect targets, or
+  the support of any expression (effects, ``init``, ``constraint``);
+- overlapping write sets between any two participants (two agents, or an
+  agent and the environment) — the lowering requires every variable to have
+  a single writer, and the symbolic path would reject this much later with
+  a less helpful message;
+- out-of-domain constants: a value assigned (directly or via an ``ite``
+  branch) outside the target variable's domain, or an ``==``/``!=``
+  comparison against a constant no assignment can ever satisfy;
+- type mismatches in effects: a boolean expression assigned to a ranged
+  variable or vice versa (``True == 1`` in Python, so the domain check
+  alone would let such a copy through and the lowerings would diverge);
+- ``order`` hints that are not a permutation of the variables (missing,
+  unknown, or repeated names);
+- program clauses whose action (or ``otherwise`` fallback) is not declared
+  by the agent, and knowledge modalities naming unknown agents.
+
+Everything raises :class:`~repro.util.errors.SpecError` with the spec's
+source attached.
+"""
+
+from repro.logic.formula import (
+    And,
+    CommonKnows,
+    DistributedKnows,
+    EveryoneKnows,
+    FalseFormula,
+    Knows,
+    Not,
+    Or,
+    Possible,
+    Prop,
+    TrueFormula,
+)
+from repro.modeling.expressions import Comparison, Const, Ite, VarRef
+from repro.spec.ir import is_boolean_expression
+from repro.systems.actions import NOOP_NAME
+from repro.util.errors import SpecError
+
+__all__ = ["validate_spec"]
+
+
+def validate_spec(spec):
+    """Validate ``spec``; raises :class:`SpecError` on the first problem."""
+    checker = _Checker(spec)
+    checker.run()
+    return spec
+
+
+class _Checker:
+    def __init__(self, spec):
+        self.spec = spec
+        self.var_index = {}
+
+    def _error(self, message):
+        return SpecError(message, source=self.spec.source)
+
+    def run(self):
+        spec = self.spec
+        for variable in spec.variables:
+            if variable.name in self.var_index:
+                raise self._error(f"duplicate variable {variable.name!r}")
+            self.var_index[variable.name] = variable
+        if not spec.variables:
+            raise self._error(f"spec {spec.name!r} declares no variables")
+        if not spec.observables:
+            raise self._error(f"spec {spec.name!r} declares no agents")
+        self._check_observables()
+        self._check_effects()
+        self._check_write_sets()
+        self._check_expression(spec.initial, "the init condition")
+        if not is_boolean_expression(spec.initial):
+            raise self._error("the init condition must be boolean")
+        if spec.global_constraint is not None:
+            self._check_expression(spec.global_constraint, "the global constraint")
+            if not is_boolean_expression(spec.global_constraint):
+                raise self._error("the global constraint must be boolean")
+        self._check_order()
+        self._check_programs()
+
+    # -- pieces ------------------------------------------------------------
+
+    def _check_observables(self):
+        for agent, names in self.spec.observables.items():
+            seen = set()
+            for name in names:
+                if name not in self.var_index:
+                    raise self._error(
+                        f"agent {agent!r} observes unknown variable {name!r}"
+                    )
+                if name in seen:
+                    raise self._error(
+                        f"agent {agent!r} observes {name!r} twice"
+                    )
+                seen.add(name)
+        for agent in self.spec.actions:
+            if agent not in self.spec.observables:
+                raise self._error(
+                    f"actions are declared for unknown agent {agent!r}"
+                )
+
+    def _effect_tables(self):
+        yield "the environment", self.spec.env_effects
+        for agent, table in self.spec.actions.items():
+            yield f"agent {agent!r}", table
+
+    def _check_effects(self):
+        for owner, table in self._effect_tables():
+            for action_name, effect in table.items():
+                what = f"action {action_name!r} of {owner}"
+                for target, expression in effect.updates.items():
+                    if target not in self.var_index:
+                        raise self._error(f"{what} writes unknown variable {target!r}")
+                    self._check_expression(expression, what)
+                    self._check_assigned_domain(
+                        self.var_index[target], expression, what
+                    )
+                    self._check_assigned_type(
+                        self.var_index[target], expression, what
+                    )
+
+    def _check_write_sets(self):
+        written = {}
+        for owner, table in self._effect_tables():
+            names = set()
+            for effect in table.values():
+                names.update(effect.updates)
+            for name in sorted(names):
+                if name in written and written[name] != owner:
+                    raise self._error(
+                        f"overlapping write sets: variable {name!r} is written "
+                        f"by both {written[name]} and {owner}"
+                    )
+                written[name] = owner
+
+    def _check_order(self):
+        order = self.spec.variable_order
+        if order is None:
+            return
+        declared = [variable.name for variable in self.spec.variables]
+        seen = set()
+        for name in order:
+            if name not in self.var_index:
+                raise self._error(f"order hint names unknown variable {name!r}")
+            if name in seen:
+                raise self._error(f"order hint repeats variable {name!r}")
+            seen.add(name)
+        missing = [name for name in declared if name not in seen]
+        if missing:
+            raise self._error(
+                f"order hint is not a permutation of the variables "
+                f"(missing: {missing})"
+            )
+
+    def _check_programs(self):
+        for prog_name, table in self.spec.programs.items():
+            for agent, entry in table.items():
+                if agent not in self.spec.observables:
+                    raise self._error(
+                        f"program {prog_name!r} has clauses for unknown agent {agent!r}"
+                    )
+                declared = set(self.spec.actions.get(agent, ())) | {NOOP_NAME}
+                for clause in entry.clauses:
+                    if clause.action not in declared:
+                        raise self._error(
+                            f"program {prog_name!r}: agent {agent!r} has no action "
+                            f"{clause.action!r} (declared: {sorted(declared)})"
+                        )
+                    self._check_formula(
+                        clause.guard, f"a guard of agent {agent!r} in {prog_name!r}"
+                    )
+                if entry.fallback not in declared:
+                    raise self._error(
+                        f"program {prog_name!r}: fallback of agent {agent!r} is not "
+                        f"a declared action: {entry.fallback!r}"
+                    )
+
+    # -- expression / formula walkers --------------------------------------
+
+    def _check_expression(self, expression, what):
+        for variable in sorted(expression.variables(), key=lambda v: v.name):
+            if self.var_index.get(variable.name) != variable:
+                raise self._error(
+                    f"{what} reads unknown variable {variable.name!r}"
+                )
+        self._check_comparisons(expression, what)
+
+    def _check_comparisons(self, expression, what):
+        if isinstance(expression, Comparison) and expression.op in ("==", "!="):
+            for ref, other in (
+                (expression.left, expression.right),
+                (expression.right, expression.left),
+            ):
+                if isinstance(ref, VarRef) and isinstance(other, Const):
+                    if not ref.variable.contains(other.value):
+                        raise self._error(
+                            f"{what}: constant {other.value!r} is outside the "
+                            f"domain of variable {ref.variable.name!r} "
+                            f"(domain: {list(ref.variable.domain)})"
+                        )
+        for attr in ("left", "right", "operand", "condition", "then", "otherwise"):
+            child = getattr(expression, attr, None)
+            if child is not None:
+                self._check_comparisons(child, what)
+        for child in getattr(expression, "operands", ()):
+            self._check_comparisons(child, what)
+
+    def _check_assigned_domain(self, variable, expression, what):
+        """Constants that an effect can assign must lie in the target's
+        domain.  Only top-level constants and ``ite`` branch constants are
+        checked — arithmetic results are range-checked at simulation time by
+        :meth:`Variable.check`."""
+        if isinstance(expression, Const):
+            if not variable.contains(expression.value):
+                raise self._error(
+                    f"{what} assigns out-of-domain constant {expression.value!r} "
+                    f"to {variable.name!r} (domain: {list(variable.domain)})"
+                )
+            return
+        if isinstance(expression, Ite):
+            self._check_assigned_domain(variable, expression.then, what)
+            self._check_assigned_domain(variable, expression.otherwise, what)
+
+    def _check_assigned_type(self, variable, expression, what):
+        """Boolean expressions may only be assigned to boolean variables and
+        vice versa.  Python's bool/int conflation (``True == 1``) would
+        otherwise let a copy like ``n := b`` pass the domain check and then
+        silently diverge between the lowerings: the explicit path stores the
+        boolean value itself, the symbolic path encodes by domain index."""
+        if isinstance(expression, Ite):
+            self._check_assigned_type(variable, expression.then, what)
+            self._check_assigned_type(variable, expression.otherwise, what)
+            return
+        if is_boolean_expression(expression) != variable.is_boolean:
+            expression_kind = (
+                "boolean" if is_boolean_expression(expression) else "non-boolean"
+            )
+            variable_kind = "boolean" if variable.is_boolean else "non-boolean"
+            raise self._error(
+                f"{what} assigns a {expression_kind} expression to "
+                f"{variable_kind} variable {variable.name!r}"
+            )
+
+    def _check_formula(self, formula, what):
+        if isinstance(formula, Prop):
+            name, equals, value_text = formula.name.partition("=")
+            if name not in self.var_index:
+                raise self._error(f"{what} mentions unknown variable {name!r}")
+            variable = self.var_index[name]
+            if equals:
+                try:
+                    value = int(value_text)
+                except ValueError:
+                    value = value_text
+                if not variable.contains(value) and not any(
+                    str(candidate) == value_text for candidate in variable.domain
+                ):
+                    raise self._error(
+                        f"{what}: atom {formula.name!r} tests an out-of-domain "
+                        f"value (domain of {name!r}: {list(variable.domain)})"
+                    )
+            elif not variable.is_boolean:
+                raise self._error(
+                    f"{what}: bare atom {name!r} refers to a non-boolean "
+                    f"variable (use '{name} == value')"
+                )
+            return
+        if isinstance(formula, (TrueFormula, FalseFormula)):
+            return
+        if isinstance(formula, Not):
+            self._check_formula(formula.operand, what)
+            return
+        if isinstance(formula, (And, Or)):
+            for operand in formula.operands:
+                self._check_formula(operand, what)
+            return
+        if isinstance(formula, (Knows, Possible)):
+            if formula.agent not in self.spec.observables:
+                raise self._error(
+                    f"{what} uses a knowledge modality for unknown agent "
+                    f"{formula.agent!r}"
+                )
+            self._check_formula(formula.operand, what)
+            return
+        if isinstance(formula, (EveryoneKnows, CommonKnows, DistributedKnows)):
+            for agent in formula.group:
+                if agent not in self.spec.observables:
+                    raise self._error(
+                        f"{what} uses a group modality naming unknown agent "
+                        f"{agent!r}"
+                    )
+            self._check_formula(formula.operand, what)
+            return
+        raise self._error(
+            f"{what} uses a formula outside the guard fragment: {formula}"
+        )

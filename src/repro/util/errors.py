@@ -62,6 +62,36 @@ class VariableOrderError(EngineError, ValueError):
     """
 
 
+class SpecError(ReproError):
+    """Raised by the protocol-spec layer (:mod:`repro.spec`) on a malformed
+    spec: a syntax error in a ``.kbp`` file, an unknown variable or agent, an
+    overlapping write set, an out-of-domain constant, ...
+
+    Attributes
+    ----------
+    source:
+        The name of the spec (file name or protocol name), when known.
+    line:
+        1-based line number in the spec text, when the error is attributable
+        to a line.
+    """
+
+    def __init__(self, message, source=None, line=None):
+        super().__init__(message)
+        self.source = source
+        self.line = line
+
+    def __str__(self):
+        base = super().__str__()
+        if self.source is not None and self.line is not None:
+            return f"{self.source}:{self.line}: {base}"
+        if self.line is not None:
+            return f"line {self.line}: {base}"
+        if self.source is not None:
+            return f"{self.source}: {base}"
+        return base
+
+
 class ProgramError(ReproError):
     """Raised when a standard or knowledge-based program is malformed, e.g.
     a clause refers to an unknown agent or action."""

@@ -1,0 +1,148 @@
+"""The two spec-only zoo members: coordinated attack and ring leader
+election.
+
+Both are defined purely as ``.kbp`` specs.  Small instances are checked
+explicitly and differentially against the symbolic lowering; the larger
+instances run symbolically at state-space sizes the explicit path cannot
+enumerate (the point of having them in the zoo)."""
+
+import pytest
+
+from repro.interpretation import construct_by_rounds
+from repro.protocols import coordinated_attack as ca
+from repro.protocols import leader_election as le
+
+
+# -- coordinated attack ------------------------------------------------------------------
+
+
+class TestCoordinatedAttackExplicit:
+    @pytest.fixture(scope="class")
+    def solved(self):
+        return ca.solve(n=3, method="rounds")
+
+    def test_converges(self, solved):
+        assert solved.converged
+        assert solved.verified
+
+    def test_iterate_agrees_with_rounds(self, solved):
+        iterated = ca.solve(n=3, method="iterate")
+        assert iterated.converged
+        assert set(iterated.system.states) == set(solved.system.states)
+
+    def test_impossibility_reading(self, solved):
+        assert ca.impossibility_holds(solved.system, 3)
+
+    def test_only_the_last_general_attacks(self, solved):
+        assert solved.system.holds_everywhere(ca.lone_attacker_formula(3))
+        # ... and it does attack somewhere: the impossibility is about
+        # coordination, not about nobody ever acting.
+        attacked = [s for s in solved.system.states if s["attacked2"]]
+        assert attacked
+
+    def test_word_invariant(self, solved):
+        assert solved.system.holds_everywhere(ca.word_invariant(3))
+
+
+class TestCoordinatedAttackDifferential:
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_explicit_and_symbolic_agree(self, n):
+        program = ca.program(n)
+        explicit = construct_by_rounds(
+            program.check_against_context(ca.context(n)), ca.context(n)
+        )
+        symbolic = construct_by_rounds(
+            program.check_against_context(ca.symbolic_model(n)), ca.symbolic_model(n)
+        )
+        assert symbolic.verified == explicit.verified
+        assert symbolic.iterations == explicit.iterations
+        assert set(symbolic.system.iter_states()) == set(explicit.system.states)
+
+
+class TestCoordinatedAttackAtScale:
+    """n = 12 generals: 2^35 global states, far beyond enumeration."""
+
+    @pytest.fixture(scope="class")
+    def solved(self):
+        return ca.solve_symbolic(n=12)
+
+    def test_state_space_defeats_enumeration(self):
+        assert ca.spec(12).state_space().size() == 2**35
+
+    def test_converges_symbolically(self, solved):
+        assert solved.converged
+        assert solved.verified
+        # 8191 = 2^13 - 1 reachable states out of 2^35: each run freezes the
+        # ready pattern, and the word front advances along the chain.
+        assert solved.system.state_count() == 2**13 - 1
+
+    def test_impossibility_reading_at_scale(self, solved):
+        assert ca.impossibility_holds(solved.system, 12)
+
+
+# -- leader election ---------------------------------------------------------------------
+
+
+class TestLeaderElectionExplicit:
+    @pytest.fixture(scope="class")
+    def solved(self):
+        return le.solve(n=3)
+
+    def test_converges(self, solved):
+        assert solved.converged
+        assert solved.verified
+
+    def test_safety(self, solved):
+        assert le.election_is_correct(solved.system, 3)
+
+    def test_highest_id_candidate_wins(self, solved):
+        assert le.elected_leader(solved.system, 3) == 2
+
+    def test_liveness_per_candidate_pattern(self):
+        # Restricting the initial condition to one candidate pattern, the
+        # unique highest-id candidate always announces.
+        from itertools import product
+
+        result = le.solve(n=3)
+        for pattern in product([False, True], repeat=3):
+            if not any(pattern):
+                continue
+            expected = max(i for i in range(3) if pattern[i])
+            led = set()
+            for state in result.system.states:
+                if all(state[f"cand{i}"] == pattern[i] for i in range(3)):
+                    led |= {i for i in range(3) if state[f"led{i}"]}
+            assert led == {expected}, pattern
+
+
+class TestLeaderElectionDifferential:
+    def test_explicit_and_symbolic_agree(self):
+        n = 3
+        program = le.program(n)
+        explicit = construct_by_rounds(
+            program.check_against_context(le.context(n)), le.context(n)
+        )
+        symbolic = construct_by_rounds(
+            program.check_against_context(le.symbolic_model(n)), le.symbolic_model(n)
+        )
+        assert symbolic.verified == explicit.verified
+        assert symbolic.iterations == explicit.iterations
+        assert set(symbolic.system.iter_states()) == set(explicit.system.states)
+
+
+class TestLeaderElectionAtScale:
+    """n = 7 nodes: 8^7 * 2^14-ish global states, beyond enumeration."""
+
+    @pytest.fixture(scope="class")
+    def solved(self):
+        return le.solve_symbolic(n=7)
+
+    def test_state_space_defeats_enumeration(self):
+        assert le.spec(7).state_space().size() > 2**30
+
+    def test_converges_symbolically(self, solved):
+        assert solved.converged
+        assert solved.verified
+
+    def test_safety_at_scale(self, solved):
+        assert le.election_is_correct(solved.system, 7)
