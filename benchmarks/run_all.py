@@ -28,7 +28,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+from repro import obs  # noqa: E402
 from repro.engine import available_backends, use_backend  # noqa: E402
+from repro.obs import registry as obs_registry  # noqa: E402
+from repro.obs.sinks import AggregateSink  # noqa: E402
 
 
 def _workloads():
@@ -291,7 +294,33 @@ def time_workload(setup, run, repeats):
     return best, metrics
 
 
+def collect_metrics(setup, run):
+    """One extra *non-timed* run per workload with the observability layer
+    armed: the timed runs above execute with instrumentation disabled (its
+    no-op fast path), then this pass aggregates the workload's counters and
+    gauge peaks plus the BDD-manager registry delta (peak nodes, cache hit
+    rates, reorder/GC activity of every manager the run created)."""
+    inputs = setup()
+    sink = AggregateSink()
+    mark = obs_registry.checkpoint()
+    obs.add_sink(sink)
+    try:
+        run(inputs)
+    finally:
+        obs.remove_sink(sink)
+    metrics = sink.metrics()
+    metrics.update(obs_registry.bdd_metrics(since=mark))
+    for name, stats in sink.spans.items():
+        metrics[f"span.{name}.count"] = stats["count"]
+        metrics[f"span.{name}.seconds"] = round(stats["total"], 6)
+    return metrics
+
+
 REGRESSION_THRESHOLD = 1.5
+#: Warn when a workload's peak BDD node allocation grows beyond this factor.
+NODES_THRESHOLD = 1.5
+#: Warn when a workload's op-cache hit rate drops by more than this (absolute).
+HIT_RATE_DROP = 0.10
 
 
 def _previous_snapshot(output):
@@ -324,18 +353,44 @@ def check_regressions(results, output):
         print(f"cannot read {baseline_path.name}: {error}", file=sys.stderr)
         return []
     previous = {
-        (entry["benchmark"], entry["backend"]): entry["seconds"]
+        (entry["benchmark"], entry["backend"]): entry
         for entry in baseline.get("results", [])
     }
     warnings = []
     for entry in results:
         key = (entry["benchmark"], entry["backend"])
-        before = previous.get(key)
+        previous_entry = previous.get(key)
+        if previous_entry is None:
+            continue
+        before = previous_entry.get("seconds")
         if before and before > 0 and entry["seconds"] / before > REGRESSION_THRESHOLD:
             warnings.append(
                 f"PERF WARNING: {key[0]} [{key[1]}] {entry['seconds'] * 1000:.1f} ms "
                 f"vs {before * 1000:.1f} ms in {baseline_path.name} "
                 f"({entry['seconds'] / before:.2f}x)"
+            )
+        metrics = entry.get("metrics") or {}
+        previous_metrics = previous_entry.get("metrics") or {}
+        nodes, nodes_before = metrics.get("bdd.nodes.peak"), previous_metrics.get(
+            "bdd.nodes.peak"
+        )
+        if nodes and nodes_before and nodes / nodes_before > NODES_THRESHOLD:
+            warnings.append(
+                f"PERF WARNING: {key[0]} [{key[1]}] peak BDD nodes {nodes} "
+                f"vs {nodes_before} in {baseline_path.name} "
+                f"({nodes / nodes_before:.2f}x)"
+            )
+        rate, rate_before = metrics.get("bdd.cache.hit_rate"), previous_metrics.get(
+            "bdd.cache.hit_rate"
+        )
+        if (
+            rate is not None
+            and rate_before is not None
+            and rate_before - rate > HIT_RATE_DROP
+        ):
+            warnings.append(
+                f"PERF WARNING: {key[0]} [{key[1]}] op-cache hit rate {rate:.3f} "
+                f"vs {rate_before:.3f} in {baseline_path.name}"
             )
     if warnings:
         print(
@@ -378,8 +433,11 @@ def main(argv=None):
                     continue
                 seconds, metrics = time_workload(setup, run, args.repeats)
                 entry = {"benchmark": name, "backend": backend_name, "seconds": seconds}
+                snapshot = collect_metrics(setup, run)
                 if metrics:
-                    entry["metrics"] = metrics
+                    snapshot.update(metrics)
+                if snapshot:
+                    entry["metrics"] = snapshot
                 results.append(entry)
                 print(
                     f"  {name:<34} {backend_name:<10} {seconds * 1000:10.3f} ms",

@@ -9,6 +9,7 @@ structure, which the analysis of protocols such as the muddy children and
 coordinated-attack style arguments relies on.
 """
 
+from repro import obs as _obs
 from repro.engine import evaluator_for
 from repro.logic.formula import CommonKnows, EveryoneKnows
 from repro.util.errors import ModelError
@@ -74,6 +75,13 @@ def _level_reached_via_backend(structure, state, formula, group, max_level):
     level = 0
     while level < max_level:
         nxt = backend.everyone_knows(structure, group, current)
+        if _obs.ENABLED:
+            _obs.event(
+                "fixpoint.iter",
+                loop="knowledge_level",
+                backend=backend.name,
+                iteration=level + 1,
+            )
         if not backend.contains(structure, nxt, state):
             return level
         level += 1

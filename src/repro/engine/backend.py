@@ -68,6 +68,7 @@ ever needed.
 import os
 from contextlib import contextmanager
 
+from repro import obs as _obs
 from repro.util.errors import EngineError
 
 # -- per-structure derived data -----------------------------------------------------
@@ -498,11 +499,21 @@ class BitsetBackend(SetBackend):
         # Least fixed point: worlds from which some ~phi world is reachable
         # in >= 0 steps of the union relation.
         tainted = bad
+        iterations = 0
         while True:
+            iterations += 1
             added = _diamond_mask(masks, tainted) & ~tainted
             if not added:
                 break
             tainted |= added
+        if _obs.ENABLED:
+            _obs.counter("fixpoint.iterations", iterations)
+            _obs.event(
+                "fixpoint",
+                loop="common_knowledge",
+                backend=self.name,
+                iterations=iterations,
+            )
         # C[G] phi fails exactly at the worlds with a successor in `tainted`
         # (a path of length >= 1 to a ~phi world).
         return _box_mask(masks, tainted)
@@ -517,12 +528,27 @@ class BitsetBackend(SetBackend):
         masks = group_masks(structure, tuple(agents), "union")
         seen = self.from_worlds(structure, start_worlds)
         frontier = seen
+        iterations = 0
         while frontier:
+            iterations += 1
+            if _obs.ENABLED:
+                _obs.event(
+                    "fixpoint.iter",
+                    loop="reachable",
+                    backend=self.name,
+                    iteration=iterations,
+                    frontier=frontier.bit_count(),
+                )
             successors = 0
             for i in _bits(frontier):
                 successors |= masks[i]
             frontier = successors & ~seen
             seen |= frontier
+        if _obs.ENABLED:
+            _obs.counter("fixpoint.iterations", iterations)
+            _obs.event(
+                "fixpoint", loop="reachable", backend=self.name, iterations=iterations
+            )
         return seen
 
 

@@ -33,7 +33,9 @@ from repro.logic.formula import (
     Prop,
     TrueFormula,
 )
+from repro import obs as _obs
 from repro.engine.backend import resolve_backend
+from repro.obs.registry import attach_aliases
 from repro.util.errors import FormulaError, ModelError
 
 
@@ -54,13 +56,26 @@ class Evaluator:
     callers can inspect or :meth:`clear_cache` it explicitly.
     """
 
-    __slots__ = ("structure", "backend", "cache", "_frozen")
+    __slots__ = (
+        "structure",
+        "backend",
+        "cache",
+        "_frozen",
+        "_hits",
+        "_misses",
+        "_cache_clears",
+        "_formulas_high_water",
+    )
 
     def __init__(self, structure, backend=None):
         self.structure = structure
         self.backend = resolve_backend(backend)
         self.cache = {}
         self._frozen = {}
+        self._hits = 0
+        self._misses = 0
+        self._cache_clears = 0
+        self._formulas_high_water = 0
 
     # -- public API --------------------------------------------------------------
 
@@ -82,8 +97,11 @@ class Evaluator:
         """Return the extension in the backend's world-set representation."""
         cached = self.cache.get(formula)
         if cached is None and formula not in self.cache:
+            self._misses += 1
             cached = self._compute(formula)
             self.cache[formula] = cached
+        else:
+            self._hits += 1
         return cached
 
     def extensions(self, formulas):
@@ -125,6 +143,15 @@ class Evaluator:
             if not groups:
                 break
             for nodes in groups.values():
+                if _obs.ENABLED:
+                    _obs.counter("evaluator.batch.groups")
+                    _obs.counter("evaluator.batch.operands", len(nodes))
+                    _obs.event(
+                        "evaluator.batch",
+                        operator=type(nodes[0]).__name__,
+                        size=len(nodes),
+                        backend=backend.name,
+                    )
                 inners = [self.extension_ws(node.operand) for node in nodes]
                 results = apply_epistemic_many(backend, structure, nodes, inners)
                 for node, result in zip(nodes, results):
@@ -132,25 +159,40 @@ class Evaluator:
         return [self.extension_ws(formula) for formula in formulas]
 
     def cache_info(self):
-        """Sizes of the evaluator's memoisation layers, as a dict.
+        """Sizes and accounting of the evaluator's memoisation layers,
+        keyed by the canonical metric schema of :mod:`repro.obs.registry`.
 
-        ``formulas`` counts cached subformula extensions (in backend
-        representation), ``frozensets`` the materialised frozenset results;
-        ``backend`` is the backend's own per-structure operation-cache
-        report (:meth:`SetBackend.cache_info` — the shared BDD apply caches
-        for the ``"bdd"`` backend, empty for backends without operation
-        caches).  Together with :meth:`clear_cache` this makes long-lived
-        evaluators observable and boundable.
+        ``memo.formulas`` counts cached subformula extensions (in backend
+        representation), ``memo.frozensets`` the materialised frozenset
+        results; ``memo.formulas.high_water`` is the largest formula memo
+        ever held and *survives* :meth:`clear_cache` (it used to be
+        implicitly lost with the cache); ``cache.hits``/``cache.misses``
+        account every :meth:`extension_ws` lookup and ``cache.clears``
+        explicit cache drops.  ``backend`` is the backend's own
+        per-structure operation-cache report (:meth:`SetBackend.cache_info`
+        — the shared BDD apply caches for the ``"bdd"`` backend, empty for
+        backends without operation caches).  The historical ``formulas`` /
+        ``frozensets`` keys remain as aliases for one release.
         """
-        return {
-            "formulas": len(self.cache),
-            "frozensets": len(self._frozen),
+        info = {
+            "memo.formulas": len(self.cache),
+            "memo.formulas.high_water": max(self._formulas_high_water, len(self.cache)),
+            "memo.frozensets": len(self._frozen),
+            "cache.hits": self._hits,
+            "cache.misses": self._misses,
+            "cache.clears": self._cache_clears,
             "backend": self.backend.cache_info(self.structure),
         }
+        return attach_aliases(
+            info, {"memo.formulas": "formulas", "memo.frozensets": "frozensets"}
+        )
 
     def clear_cache(self):
         """Drop all memoised extensions, and the backend's recomputable
-        operation caches (never required for correctness)."""
+        operation caches (never required for correctness).  The lookup
+        counters and the formula-memo high-water mark survive."""
+        self._formulas_high_water = max(self._formulas_high_water, len(self.cache))
+        self._cache_clears += 1
         self.cache.clear()
         self._frozen.clear()
         self.backend.clear_cache(self.structure)
@@ -215,6 +257,8 @@ def apply_epistemic(backend, structure, formula, inner):
     may be temporal and are therefore evaluated elsewhere).  ``inner`` must
     be in ``backend``'s world-set representation.
     """
+    if _obs.ENABLED:
+        _obs.counter(f"dispatch.{backend.name}.scalar")
     if isinstance(formula, Knows):
         return backend.knows(structure, formula.agent, inner)
     if isinstance(formula, Possible):
@@ -285,6 +329,8 @@ def apply_epistemic_many(backend, structure, formulas, inners):
     :meth:`Evaluator.extensions_ws` and the CTLK model checker (whose
     operands may be temporal and are therefore evaluated by the checker).
     """
+    if _obs.ENABLED:
+        _obs.counter(f"dispatch.{backend.name}.batched", len(formulas))
     head = formulas[0]
     if isinstance(head, Knows):
         return backend.knows_many(structure, head.agent, inners)

@@ -70,8 +70,10 @@ transparently through its ``is_symbolic_model`` dispatch:
     agent instead of a per-local-state loop.
 """
 
+from repro import obs as _obs
 from repro.interpretation.functional import guard_table
 from repro.interpretation.iteration import IterationResult, _fallback_set
+from repro.obs.registry import hit_rate
 from repro.interpretation.synthesis import (
     ImplementationReport,
     run_candidate_search,
@@ -120,6 +122,19 @@ def construct_by_rounds_symbolic(
     rounds = 0
     while frontier != FALSE and rounds < max_rounds:
         rounds += 1
+        if _obs.ENABLED:
+            # Round-granularity telemetry is cheap relative to a round's BDD
+            # work: two model counts and a read of the kernel's counters.
+            _obs.event(
+                "construct.round",
+                round=rounds,
+                frontier=model.encoding.count(frontier),
+                states=model.encoding.count(seen),
+                backend="bdd",
+                cache_hit_rate=hit_rate(
+                    bdd._ite_hits + bdd._op_hits, bdd._ite_misses + bdd._op_misses
+                ),
+            )
         if bdd.reorder_pending:
             # Round boundaries are the construction's precise safe points:
             # everything the loop holds is enumerable here, so a pending
@@ -154,6 +169,14 @@ def construct_by_rounds_symbolic(
             f"round-by-round construction did not close within {max_rounds} rounds"
         )
 
+    if _obs.ENABLED:
+        _obs.event(
+            "fixpoint",
+            loop="construct_by_rounds",
+            backend="bdd",
+            iterations=rounds,
+            result=model.encoding.count(seen),
+        )
     verified = None
     if verify:
         verified = _verify_fixed_point(
@@ -225,6 +248,14 @@ def iterate_interpretation_symbolic(
                     in_flight += [node for _action, node in entries]
             model.maybe_reorder(in_flight)
         states, rounds, current = _reach(program, model, current)
+        if _obs.ENABLED:
+            _obs.event(
+                "fixpoint.iter",
+                loop="iterate_interpretation",
+                backend="bdd",
+                iteration=iteration + 1,
+                node=states,
+            )
         view = model.view(states)
         occupied = {agent: view.project(agent, states) for agent in model.agents}
         current_signature = _selection_signature(model, current, occupied)
@@ -239,6 +270,15 @@ def iterate_interpretation_symbolic(
             # The derived protocol agrees with the current one on every
             # occupied class, hence generates the same system: a fixed point
             # (an implementation) has been found.
+            if _obs.ENABLED:
+                _obs.counter("fixpoint.iterations", iteration + 1)
+                _obs.event(
+                    "fixpoint",
+                    loop="iterate_interpretation",
+                    backend="bdd",
+                    iterations=iteration + 1,
+                    result="converged",
+                )
             protocol = _materialise_protocol(
                 program, model, derived, _decided_union(model, derived)
             )
@@ -252,6 +292,15 @@ def iterate_interpretation_symbolic(
             )
         if states in seen_states:
             cycle_length = iteration - seen_states[states]
+            if _obs.ENABLED:
+                _obs.counter("fixpoint.iterations", iteration + 1)
+                _obs.event(
+                    "fixpoint",
+                    loop="iterate_interpretation",
+                    backend="bdd",
+                    iterations=iteration + 1,
+                    result=f"cycle:{cycle_length}",
+                )
             final_states, final_rounds, final_selection = _reach(program, model, derived)
             protocol = _materialise_protocol(
                 program, model, final_selection, _decided_union(model, final_selection)
@@ -342,6 +391,10 @@ def _reach(program, model, selection):
         targets = model.successors(frontier, selection)
         frontier = bdd.diff(targets, seen)
         seen = bdd.or_(seen, frontier)
+    if _obs.ENABLED:
+        _obs.event(
+            "fixpoint", loop="reach", backend="bdd", iterations=rounds, result=seen
+        )
     return seen, rounds, selection
 
 

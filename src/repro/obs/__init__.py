@@ -1,0 +1,270 @@
+"""Unified instrumentation: spans, counters, gauges and structured events.
+
+Every layer of the engine — the ROBDD kernel, the world-set backends, the
+evaluator, the fixed-point loops of construction/CTLK/synthesis, the spec
+lowerings — emits telemetry through this one module.  The core is a tiny
+pub/sub fan-out: producers call :func:`span`, :func:`counter`,
+:func:`gauge` or :func:`event`; consumers register *sinks*
+(:mod:`repro.obs.sinks`) that receive each record as a plain dict.
+
+Near-zero cost when disabled
+----------------------------
+
+Instrumentation is off unless at least one sink is installed.  The
+module-level :data:`ENABLED` flag tracks that, and every emitting helper
+returns immediately when it is false — :func:`span` hands back a shared
+no-op context manager, the scalar helpers return before building a record.
+Hot loops guard their call sites with ``if obs.ENABLED:`` so the disabled
+cost is one attribute load and a branch; the ultra-hot kernel counters
+(op-cache hits/misses) bypass the event stream entirely and live as plain
+integers surfaced through ``cache_info()`` (see :mod:`repro.obs.registry`
+for the converged metric schema).
+
+Records
+-------
+
+Four record kinds flow to sinks, all JSON-serialisable dicts sharing
+``kind``, ``name`` and ``ts`` (seconds since process start, monotonic):
+
+``span``
+    A closed timer: ``dur`` (wall seconds), ``self`` (``dur`` minus the
+    time spent in child spans on the same thread), ``depth`` (nesting depth
+    at emission), optional ``attrs`` and — when the body raised — the
+    exception type under ``error``.  Spans are emitted *on exit*, so a
+    trace lists children before their parents; ``ts``/``dur`` recover the
+    tree.
+``counter``
+    A monotonic increment: ``value`` (default 1).  Aggregators sum them.
+``gauge``
+    A sampled level: ``value``.  Aggregators keep last/min/max.
+``event``
+    A point-in-time structured fact with free-form ``attrs``.
+
+:mod:`repro.obs.schema` validates the shapes; ``python -m repro.obs``
+summarises a JSONL trace of them.
+
+Activation
+----------
+
+Programmatic: :func:`add_sink` / :func:`remove_sink`, or the
+:func:`capture` context manager, which installs a fresh
+:class:`~repro.obs.sinks.AggregateSink` for the duration of a block::
+
+    from repro import obs
+
+    with obs.capture() as agg:
+        run_workload()
+    print(agg.counters["construct.rounds"])
+
+Environmental: setting ``REPRO_TRACE=/path/to/trace.jsonl`` before the
+process starts installs a :class:`~repro.obs.sinks.JsonlSink` at import
+time, so any entry point (pytest, benchmarks, ``python -m repro.spec``)
+streams a trace without code changes.
+"""
+
+import os
+import threading
+import time
+
+__all__ = [
+    "ENABLED",
+    "add_sink",
+    "capture",
+    "counter",
+    "enabled",
+    "event",
+    "gauge",
+    "installed_sinks",
+    "remove_sink",
+    "span",
+]
+
+ENABLED = False
+"""True while at least one sink is installed.  Hot call sites read this
+directly (``if obs.ENABLED: obs.event(...)``) so the disabled cost of an
+instrumentation point is one attribute load and a branch."""
+
+_ORIGIN = time.perf_counter()
+_SINKS = []
+_LOCAL = threading.local()
+
+
+def enabled():
+    """Whether any sink is installed (the function form of :data:`ENABLED`)."""
+    return ENABLED
+
+
+def installed_sinks():
+    """The currently installed sinks, in installation order.  (Named to
+    avoid colliding with the :mod:`repro.obs.sinks` submodule attribute.)"""
+    return tuple(_SINKS)
+
+
+def add_sink(sink):
+    """Install ``sink`` (any object with an ``emit(record)`` method) and
+    return it.  Installing the first sink flips :data:`ENABLED` on."""
+    global ENABLED
+    _SINKS.append(sink)
+    ENABLED = True
+    return sink
+
+
+def remove_sink(sink):
+    """Remove ``sink``; removing the last one flips :data:`ENABLED` off.
+    Unknown sinks are ignored (removal is idempotent)."""
+    global ENABLED
+    try:
+        _SINKS.remove(sink)
+    except ValueError:
+        pass
+    ENABLED = bool(_SINKS)
+
+
+def _emit(record):
+    for sink in _SINKS:
+        sink.emit(record)
+
+
+def _stack():
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    return stack
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while instrumentation is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    __slots__ = ("name", "attrs", "_start", "_child")
+
+    def __init__(self, name, attrs):
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self):
+        _stack().append(self)
+        self._child = 0.0
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        end = time.perf_counter()
+        stack = _stack()
+        # Exception-safe unwind: even if an inner span leaked (its __exit__
+        # never ran), pop down to and including this frame so depths stay
+        # coherent for the rest of the thread.
+        while stack:
+            top = stack.pop()
+            if top is self:
+                break
+        duration = end - self._start
+        if stack:
+            stack[-1]._child += duration
+        record = {
+            "kind": "span",
+            "name": self.name,
+            "ts": self._start - _ORIGIN,
+            "dur": duration,
+            "self": max(0.0, duration - self._child),
+            "depth": len(stack),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        _emit(record)
+        return False
+
+
+def span(name, **attrs):
+    """A context manager timing its body as a named span.
+
+    Nested spans (per thread) accumulate child time into their parent so
+    sinks can report *self* time; an exception propagates unchanged but is
+    recorded on the span under ``error``.  While disabled this returns a
+    shared no-op object and allocates nothing.
+    """
+    if not ENABLED:
+        return _NOOP_SPAN
+    return _Span(name, attrs)
+
+
+def counter(name, value=1, **attrs):
+    """Record a monotonic increment of ``value`` on counter ``name``."""
+    if not ENABLED:
+        return
+    record = {"kind": "counter", "name": name, "ts": time.perf_counter() - _ORIGIN, "value": value}
+    if attrs:
+        record["attrs"] = attrs
+    _emit(record)
+
+
+def gauge(name, value, **attrs):
+    """Record a sampled level ``value`` for gauge ``name``."""
+    if not ENABLED:
+        return
+    record = {"kind": "gauge", "name": name, "ts": time.perf_counter() - _ORIGIN, "value": value}
+    if attrs:
+        record["attrs"] = attrs
+    _emit(record)
+
+
+def event(name, **attrs):
+    """Record a point-in-time structured event with free-form ``attrs``."""
+    if not ENABLED:
+        return
+    record = {"kind": "event", "name": name, "ts": time.perf_counter() - _ORIGIN}
+    if attrs:
+        record["attrs"] = attrs
+    _emit(record)
+
+
+class capture:
+    """Install a fresh :class:`~repro.obs.sinks.AggregateSink` for a block.
+
+    ``with obs.capture() as agg:`` enables instrumentation for the body and
+    yields the aggregator; on exit the sink is removed (other sinks are
+    untouched) and its snapshot stays readable.  Pass ``keep_records=True``
+    to retain the raw record stream on ``agg.records`` as well.
+    """
+
+    def __init__(self, keep_records=False):
+        from repro.obs.sinks import AggregateSink
+
+        self.sink = AggregateSink(keep_records=keep_records)
+
+    def __enter__(self):
+        add_sink(self.sink)
+        return self.sink
+
+    def __exit__(self, exc_type, exc, tb):
+        remove_sink(self.sink)
+        return False
+
+
+def _configure_from_env():
+    """Honour ``REPRO_TRACE=path``: stream every record to a JSONL file."""
+    path = os.environ.get("REPRO_TRACE")
+    if path:
+        from repro.obs.sinks import JsonlSink
+
+        # Append mode: the variable is inherited by child processes (e.g.
+        # subprocess-based tests), which must not truncate the parent's
+        # stream mid-write.
+        add_sink(JsonlSink(path, mode="a"))
+
+
+_configure_from_env()

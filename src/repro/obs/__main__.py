@@ -1,0 +1,150 @@
+"""``python -m repro.obs`` — summarise, validate or convert a JSONL trace.
+
+Usage::
+
+    python -m repro.obs trace.jsonl              # human summary
+    python -m repro.obs trace.jsonl --top 25     # more spans in the table
+    python -m repro.obs trace.jsonl --validate   # schema check (CI leg)
+    python -m repro.obs trace.jsonl --chrome out.json   # flame-chart export
+
+The summary shows the top spans by accumulated *self* time, counter and
+gauge rollups, the dynamic-reordering timeline (every ``bdd.reorder``
+event with its before/after node counts) and, when the trace contains a
+round-by-round construction, the per-round frontier table.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.obs.schema import validate_trace_file
+from repro.obs.sinks import AggregateSink, chrome_trace
+
+
+def _load(path):
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _fmt_ms(seconds):
+    return f"{seconds * 1000:10.3f}"
+
+
+def summarise(records, top=15, out=None):
+    """Print the human summary of a record stream."""
+    if out is None:
+        out = sys.stdout
+    aggregate = AggregateSink()
+    for record in records:
+        aggregate.emit(record)
+    kinds = {}
+    for record in records:
+        kinds[record["kind"]] = kinds.get(record["kind"], 0) + 1
+    end = max((r["ts"] + r.get("dur", 0.0) for r in records), default=0.0)
+    counts = ", ".join(f"{count} {kind}s" for kind, count in sorted(kinds.items()))
+    print(f"{len(records)} records ({counts}); trace ends at {end:.3f}s", file=out)
+
+    if aggregate.spans:
+        print(f"\ntop spans by self time (of {len(aggregate.spans)}):", file=out)
+        print(f"  {'span':<38} {'count':>7} {'self ms':>10} {'total ms':>10} {'max ms':>10}", file=out)
+        ranked = sorted(aggregate.spans.items(), key=lambda item: -item[1]["self"])
+        for name, stats in ranked[:top]:
+            print(
+                f"  {name:<38} {stats['count']:>7}"
+                f" {_fmt_ms(stats['self'])} {_fmt_ms(stats['total'])} {_fmt_ms(stats['max'])}",
+                file=out,
+            )
+
+    if aggregate.counters:
+        print("\ncounters:", file=out)
+        for name, value in sorted(aggregate.counters.items()):
+            print(f"  {name:<46} {value:>14}", file=out)
+
+    if aggregate.gauges:
+        print("\ngauges (last / max):", file=out)
+        for name, stats in sorted(aggregate.gauges.items()):
+            print(f"  {name:<46} {stats['last']:>14} / {stats['max']}", file=out)
+
+    reorders = [
+        r for r in records if r["kind"] == "event" and r["name"] == "bdd.reorder"
+    ]
+    if reorders:
+        print("\nreorder timeline:", file=out)
+        for record in reorders:
+            attrs = record.get("attrs", {})
+            print(
+                f"  t={record['ts']:.3f}s  {attrs.get('before', '?'):>8} -> "
+                f"{attrs.get('after', '?'):<8} live nodes"
+                f"  ({attrs.get('swaps', '?')} swaps, trigger {attrs.get('trigger', '?')})",
+                file=out,
+            )
+
+    rounds = [
+        r for r in records if r["kind"] == "event" and r["name"] == "construct.round"
+    ]
+    if rounds:
+        print("\nconstruction rounds:", file=out)
+        print(f"  {'round':>5} {'frontier':>12} {'states':>14} {'hit rate':>9}", file=out)
+        for record in rounds:
+            attrs = record.get("attrs", {})
+            rate = attrs.get("cache_hit_rate")
+            print(
+                f"  {attrs.get('round', '?'):>5} {attrs.get('frontier', '?'):>12}"
+                f" {attrs.get('states', '?'):>14}"
+                f" {rate if rate is not None else '-':>9}",
+                file=out,
+            )
+
+    errors = [r for r in records if r["kind"] == "span" and "error" in r]
+    if errors:
+        print(f"\n{len(errors)} span(s) closed by an exception:", file=out)
+        for record in errors[:top]:
+            print(f"  {record['name']}: {record['error']}", file=out)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("trace", help="JSONL trace file (as written by REPRO_TRACE)")
+    parser.add_argument("--top", type=int, default=15, help="rows in the span table")
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-check every record and exit (non-zero on a violation)",
+    )
+    parser.add_argument(
+        "--chrome",
+        metavar="OUT",
+        default=None,
+        help="write a Chrome trace_event JSON conversion to OUT",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        try:
+            records = validate_trace_file(args.trace)
+        except ValueError as error:
+            print(f"{args.trace}: INVALID — {error}", file=sys.stderr)
+            return 1
+        print(f"{args.trace}: {len(records)} records, schema OK")
+        return 0
+
+    records = _load(args.trace)
+    if args.chrome is not None:
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(chrome_trace(records), handle)
+        print(f"wrote {args.chrome} ({len(records)} records)")
+        return 0
+
+    summarise(records, top=args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

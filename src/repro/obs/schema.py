@@ -1,0 +1,111 @@
+"""The trace-record schema and its validator.
+
+One record is one JSON object; a JSONL trace is one record per line.  All
+kinds share ``kind`` (one of :data:`KINDS`), ``name`` (a non-empty dotted
+string) and ``ts`` (seconds since process start, a non-negative number).
+Kind-specific fields:
+
+======== ==========================================================
+kind      fields
+======== ==========================================================
+span      ``dur`` ≥ 0, ``self`` in ``[0, dur]``, ``depth`` ≥ 0,
+          optional ``attrs`` (object), optional ``error`` (string)
+counter   ``value`` (number), optional ``attrs``
+gauge     ``value`` (number), optional ``attrs``
+event     optional ``attrs``
+======== ==========================================================
+
+The CI trace leg runs ``python -m repro.obs trace.jsonl --validate``,
+which applies :func:`validate_record` to every line and fails on the
+first violation; ``tests/test_obs.py`` exercises the same checks on a
+generated trace.
+"""
+
+import json
+
+__all__ = ["KINDS", "validate_record", "validate_trace_file", "validate_trace_lines"]
+
+KINDS = ("span", "counter", "gauge", "event")
+
+_COMMON_FIELDS = {"kind", "name", "ts", "attrs"}
+_EXTRA_FIELDS = {
+    "span": {"dur", "self", "depth", "error"},
+    "counter": {"value"},
+    "gauge": {"value"},
+    "event": set(),
+}
+
+
+def _fail(message, record):
+    raise ValueError(f"{message}: {record!r}")
+
+
+def _check_number(record, field, minimum=None):
+    value = record.get(field)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(f"field {field!r} must be a number", record)
+    if minimum is not None and value < minimum:
+        _fail(f"field {field!r} must be >= {minimum}", record)
+    return value
+
+
+def validate_record(record):
+    """Check one record against the schema; raises :class:`ValueError` on
+    the first violation and returns the record otherwise."""
+    if not isinstance(record, dict):
+        _fail("record must be an object", record)
+    kind = record.get("kind")
+    if kind not in KINDS:
+        _fail(f"unknown kind {kind!r}", record)
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        _fail("field 'name' must be a non-empty string", record)
+    _check_number(record, "ts", minimum=0)
+    allowed = _COMMON_FIELDS | _EXTRA_FIELDS[kind]
+    unknown = set(record) - allowed
+    if unknown:
+        _fail(f"unknown fields {sorted(unknown)} for kind {kind!r}", record)
+    if "attrs" in record and not isinstance(record["attrs"], dict):
+        _fail("field 'attrs' must be an object", record)
+    if kind == "span":
+        dur = _check_number(record, "dur", minimum=0)
+        self_time = _check_number(record, "self", minimum=0)
+        if self_time > dur + 1e-9:
+            _fail("span 'self' time exceeds 'dur'", record)
+        depth = record.get("depth")
+        if not isinstance(depth, int) or isinstance(depth, bool) or depth < 0:
+            _fail("span 'depth' must be a non-negative integer", record)
+        if "error" in record and not isinstance(record["error"], str):
+            _fail("span 'error' must be a string", record)
+    elif kind in ("counter", "gauge"):
+        _check_number(record, "value")
+    return record
+
+
+def validate_trace_lines(lines):
+    """Validate an iterable of JSONL lines; returns the parsed records.
+
+    Blank lines are ignored.  Raises :class:`ValueError` naming the
+    offending line number on a parse or schema failure.
+    """
+    records = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as error:
+            raise ValueError(f"line {number}: not valid JSON ({error})") from None
+        try:
+            validate_record(record)
+        except ValueError as error:
+            raise ValueError(f"line {number}: {error}") from None
+        records.append(record)
+    return records
+
+
+def validate_trace_file(path):
+    """Validate the JSONL trace at ``path``; returns the parsed records."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_trace_lines(handle)

@@ -1,0 +1,199 @@
+"""The bundled sinks: in-memory aggregation, JSONL streaming, Chrome traces.
+
+A *sink* is any object with ``emit(record)`` (and optionally ``close()``);
+records are the plain dicts described in :mod:`repro.obs`.  Three
+implementations cover the common consumers:
+
+- :class:`AggregateSink` — in-memory rollups for tests, benchmarks and
+  programmatic use (``obs.capture()`` installs one);
+- :class:`JsonlSink` — one JSON object per line, the on-disk trace format
+  (``REPRO_TRACE=path`` installs one at import);
+- :class:`ChromeTraceSink` — the ``chrome://tracing`` / Perfetto
+  ``trace_event`` JSON format for flame-chart viewing, also reachable as a
+  post-hoc conversion via :func:`chrome_trace` or
+  ``python -m repro.obs trace.jsonl --chrome out.json``.
+
+:class:`RecordingSink` keeps the raw record stream (optionally filtered by
+kind) for consumers that need individual samples — per-spec fuzz timing
+percentiles, schema tests.
+"""
+
+import json
+
+__all__ = [
+    "AggregateSink",
+    "ChromeTraceSink",
+    "JsonlSink",
+    "RecordingSink",
+    "chrome_trace",
+]
+
+
+class AggregateSink:
+    """In-memory rollups of the record stream.
+
+    - ``counters``: name → summed value;
+    - ``gauges``: name → ``{"last", "min", "max"}``;
+    - ``spans``: name → ``{"count", "total", "self", "max"}`` (seconds);
+    - ``events``: name → occurrence count.
+
+    With ``keep_records=True`` the raw dicts are appended to ``records``
+    too.  :meth:`snapshot` returns the whole state as one plain dict;
+    :meth:`metrics` flattens it into the scalar form the benchmark harness
+    embeds in ``BENCH_N.json``.
+    """
+
+    def __init__(self, keep_records=False):
+        self.counters = {}
+        self.gauges = {}
+        self.spans = {}
+        self.events = {}
+        self.records = [] if keep_records else None
+
+    def emit(self, record):
+        kind = record["kind"]
+        name = record["name"]
+        if kind == "counter":
+            self.counters[name] = self.counters.get(name, 0) + record["value"]
+        elif kind == "span":
+            entry = self.spans.get(name)
+            if entry is None:
+                entry = self.spans[name] = {"count": 0, "total": 0.0, "self": 0.0, "max": 0.0}
+            entry["count"] += 1
+            entry["total"] += record["dur"]
+            entry["self"] += record["self"]
+            entry["max"] = max(entry["max"], record["dur"])
+        elif kind == "gauge":
+            value = record["value"]
+            entry = self.gauges.get(name)
+            if entry is None:
+                self.gauges[name] = {"last": value, "min": value, "max": value}
+            else:
+                entry["last"] = value
+                entry["min"] = min(entry["min"], value)
+                entry["max"] = max(entry["max"], value)
+        elif kind == "event":
+            self.events[name] = self.events.get(name, 0) + 1
+        if self.records is not None:
+            self.records.append(record)
+
+    def snapshot(self):
+        """The aggregated state as one plain (JSON-serialisable) dict."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": {name: dict(stats) for name, stats in self.gauges.items()},
+            "spans": {name: dict(stats) for name, stats in self.spans.items()},
+            "events": dict(self.events),
+        }
+
+    def metrics(self):
+        """A flat scalar dict: counters verbatim, gauges as their max."""
+        flat = dict(self.counters)
+        for name, stats in self.gauges.items():
+            flat[name] = stats["max"]
+        return flat
+
+
+class RecordingSink:
+    """Keep the raw record stream (optionally only the given ``kinds``)."""
+
+    def __init__(self, kinds=None):
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.records = []
+
+    def emit(self, record):
+        if self.kinds is None or record["kind"] in self.kinds:
+            self.records.append(record)
+
+
+def _json_safe(value):
+    """json.dumps default hook: degrade unknown values to their repr."""
+    return repr(value)
+
+
+class JsonlSink:
+    """Stream records to a file, one JSON object per line.
+
+    The file is opened line-buffered so a trace survives a crashed process
+    up to the last complete record.  ``path`` may also be an open text file
+    (it is then not closed by :meth:`close`).  Pass ``mode="a"`` when
+    several processes may share the path — O_APPEND writes land at the end
+    instead of truncating each other's output (this is what the
+    ``REPRO_TRACE`` hook uses, since child processes inherit the variable).
+    """
+
+    def __init__(self, path, mode="w"):
+        if hasattr(path, "write"):
+            self._file = path
+            self._owns = False
+        else:
+            self._file = open(path, mode, buffering=1, encoding="utf-8")
+            self._owns = True
+
+    def emit(self, record):
+        self._file.write(json.dumps(record, default=_json_safe) + "\n")
+
+    def close(self):
+        if self._owns and not self._file.closed:
+            self._file.close()
+
+
+def chrome_trace(records):
+    """Convert an iterable of obs records to a Chrome ``trace_event``
+    document (a dict; dump it as JSON and load it in Perfetto or
+    ``chrome://tracing``).
+
+    Spans become complete (``"X"``) events, counters and gauges counter
+    (``"C"``) samples, events instants (``"i"``).  Timestamps are
+    microseconds, as the format requires.
+    """
+    trace = []
+    totals = {}
+    for record in records:
+        kind = record["kind"]
+        name = record["name"]
+        ts = record["ts"] * 1e6
+        if kind == "span":
+            entry = {
+                "name": name,
+                "ph": "X",
+                "ts": ts,
+                "dur": record["dur"] * 1e6,
+                "pid": 1,
+                "tid": 1,
+            }
+            if record.get("attrs"):
+                entry["args"] = record["attrs"]
+            trace.append(entry)
+        elif kind in ("counter", "gauge"):
+            if kind == "counter":
+                totals[name] = totals.get(name, 0) + record["value"]
+                value = totals[name]
+            else:
+                value = record["value"]
+            trace.append(
+                {"name": name, "ph": "C", "ts": ts, "pid": 1, "tid": 1, "args": {name: value}}
+            )
+        elif kind == "event":
+            entry = {"name": name, "ph": "i", "ts": ts, "pid": 1, "tid": 1, "s": "t"}
+            if record.get("attrs"):
+                entry["args"] = record["attrs"]
+            trace.append(entry)
+    trace.sort(key=lambda entry: entry["ts"])
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+class ChromeTraceSink:
+    """Accumulate records and write a Chrome ``trace_event`` JSON file on
+    :meth:`close` (the format is a single document, not a stream)."""
+
+    def __init__(self, path):
+        self._path = path
+        self._records = []
+
+    def emit(self, record):
+        self._records.append(record)
+
+    def close(self):
+        with open(self._path, "w", encoding="utf-8") as handle:
+            json.dump(chrome_trace(self._records), handle, default=_json_safe)

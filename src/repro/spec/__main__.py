@@ -98,12 +98,21 @@ def main(argv=None):
     if options.fuzz is not None:
         from repro.spec.fuzz import run_fuzz
 
-        stats = run_fuzz(options.fuzz, seed=options.seed)
+        stats = run_fuzz(options.fuzz, seed=options.seed, timings=True)
         print(
             f"checked {stats['checked']} specs (seed {options.seed}): "
             f"{stats['converged']} constructed ({stats['states_total']} states total), "
             f"{stats['failed_cleanly']} failed identically on both paths"
         )
+        timing = stats.get("timing")
+        if timing:
+            print(
+                "per-spec check time: "
+                f"p50 {timing['p50'] * 1000:.1f} ms, "
+                f"p90 {timing['p90'] * 1000:.1f} ms, "
+                f"p99 {timing['p99'] * 1000:.1f} ms, "
+                f"max {timing['max'] * 1000:.1f} ms"
+            )
         return 0
 
     if not options.spec:

@@ -23,6 +23,7 @@ line; ``tests/test_spec_fuzz.py`` pins a seeded run in tier-1.
 
 import random
 
+from repro import obs as _obs
 from repro.logic.formula import Knows, Not
 from repro.modeling.expressions import Comparison, Const, Ite, VarRef
 from repro.modeling.state_space import Assignment
@@ -276,32 +277,69 @@ def differential_check(spec):
     return {"states": len(explicit_states), "outcome": "converged"}
 
 
-def run_fuzz(count=50, seed=0):
+def _percentile(sorted_values, fraction):
+    """Nearest-rank percentile of an ascending non-empty list."""
+    rank = max(0, min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def run_fuzz(count=50, seed=0, timings=False):
     """Generate and differential-check ``count`` random specs.
 
     Returns a summary dict (``checked``, ``converged``, ``failed_cleanly``,
     ``states_total``); raises on the first divergence, with the failing
     seed offset in the message.
+
+    With ``timings=True`` each differential check runs inside an
+    observability span (``spec.fuzz.check``) and the summary gains a
+    ``timing`` block with the per-spec wall-clock percentiles
+    (``p50``/``p90``/``p99``/``max``, seconds) read back from the recorded
+    spans.
     """
     rng = random.Random(seed)
     converged = failed_cleanly = states_total = 0
-    for index in range(count):
-        spec = random_spec(rng, name=f"fuzz-{seed}-{index}")
-        try:
-            stats = differential_check(spec)
-        except AssertionError as error:
-            raise AssertionError(
-                f"differential check failed on spec {index} (seed {seed}): {error}\n"
-                f"{spec.to_kbp()}"
-            ) from error
-        if stats["outcome"] == "converged":
-            converged += 1
-            states_total += stats["states"]
-        else:
-            failed_cleanly += 1
-    return {
+    recorder = None
+    if timings:
+        from repro.obs.sinks import RecordingSink
+
+        recorder = RecordingSink(kinds=("span",))
+        _obs.add_sink(recorder)
+    try:
+        for index in range(count):
+            spec = random_spec(rng, name=f"fuzz-{seed}-{index}")
+            try:
+                with _obs.span("spec.fuzz.check", index=index):
+                    stats = differential_check(spec)
+            except AssertionError as error:
+                raise AssertionError(
+                    f"differential check failed on spec {index} (seed {seed}): {error}\n"
+                    f"{spec.to_kbp()}"
+                ) from error
+            if stats["outcome"] == "converged":
+                converged += 1
+                states_total += stats["states"]
+            else:
+                failed_cleanly += 1
+    finally:
+        if recorder is not None:
+            _obs.remove_sink(recorder)
+    summary = {
         "checked": count,
         "converged": converged,
         "failed_cleanly": failed_cleanly,
         "states_total": states_total,
     }
+    if recorder is not None:
+        durations = sorted(
+            record["dur"]
+            for record in recorder.records
+            if record["name"] == "spec.fuzz.check"
+        )
+        if durations:
+            summary["timing"] = {
+                "p50": _percentile(durations, 0.50),
+                "p90": _percentile(durations, 0.90),
+                "p99": _percentile(durations, 0.99),
+                "max": durations[-1],
+            }
+    return summary

@@ -46,6 +46,7 @@ from repro.modeling.expressions import (
     NotOp,
     VarRef,
 )
+from repro import obs as _obs
 from repro.modeling.state_space import Assignment, StateSpace
 from repro.modeling.variables import Variable
 from repro.programs import AgentProgram, Clause, KnowledgeBasedProgram
@@ -183,7 +184,8 @@ class ProtocolSpec:
         """Run the spec-level validator; returns the spec for chaining."""
         from repro.spec.validate import validate_spec
 
-        validate_spec(self)
+        with _obs.span("spec.validate", spec=self.name):
+            validate_spec(self)
         return self
 
     def context_parts(self):
@@ -211,7 +213,8 @@ class ProtocolSpec:
         :class:`repro.systems.context.Context` (with ``context.spec``)."""
         from repro.systems import variable_context
 
-        return variable_context(**self.context_parts())
+        with _obs.span("spec.lower.explicit", spec=self.name):
+            return variable_context(**self.context_parts())
 
     def symbolic_model(self, variable_order=None, **kwargs):
         """Lower to the enumeration-free path: a
@@ -225,9 +228,10 @@ class ProtocolSpec:
 
         if variable_order is None:
             variable_order = list(self.variable_order) if self.variable_order else None
-        return SymbolicContextModel(
-            **self.context_parts(), variable_order=variable_order, **kwargs
-        )
+        with _obs.span("spec.lower.symbolic", spec=self.name):
+            return SymbolicContextModel(
+                **self.context_parts(), variable_order=variable_order, **kwargs
+            )
 
     def program(self, name=DEFAULT_PROGRAM):
         """Build the named :class:`KnowledgeBasedProgram`.

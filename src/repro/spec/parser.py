@@ -47,6 +47,7 @@ from repro.modeling.expressions import (
     NotOp,
     VarRef,
 )
+from repro import obs as _obs
 from repro.modeling.state_space import Assignment
 from repro.modeling.variables import boolean, ranged
 from repro.spec.ir import DEFAULT_PROGRAM, AgentClauses, ProtocolSpec, is_boolean_expression
@@ -879,10 +880,11 @@ def parse_spec(text, params=None, source=None):
     ``params`` overrides the spec's declared ``param`` defaults (all values
     must be integers); ``source`` names the spec in error messages.
     """
-    tree = _build_tree(text, source)
-    builder = _Builder(source, params)
-    builder.walk(tree, {}, ("top",))
-    return builder.finish()
+    with _obs.span("spec.parse", source=source):
+        tree = _build_tree(text, source)
+        builder = _Builder(source, params)
+        builder.walk(tree, {}, ("top",))
+        return builder.finish()
 
 
 def parse_spec_file(path, **params):

@@ -37,6 +37,7 @@ and cached evaluator extensions all stay valid across a
 :meth:`clear_cache`.
 """
 
+from repro import obs as _obs
 from repro.engine.backend import SetBackend
 from repro.symbolic.bdd import FALSE
 from repro.symbolic.encode import encoding_for
@@ -181,11 +182,29 @@ class SymbolicBackend(SetBackend):
         # in >= 0 steps of the union relation.  Canonicity turns the
         # convergence test into a node-id comparison.
         tainted = bdd.diff(encoding.domain, inner_node)
+        iterations = 0
         while True:
+            iterations += 1
+            if _obs.ENABLED:
+                _obs.event(
+                    "fixpoint.iter",
+                    loop="common_knowledge",
+                    backend=self.name,
+                    iteration=iterations,
+                    node=tainted,
+                )
             grown = bdd.or_(tainted, self._diamond(encoding, relation, tainted))
             if grown == tainted:
                 break
             tainted = grown
+        if _obs.ENABLED:
+            _obs.counter("fixpoint.iterations", iterations)
+            _obs.event(
+                "fixpoint",
+                loop="common_knowledge",
+                backend=self.name,
+                iterations=iterations,
+            )
         # C[G] phi fails exactly at the worlds with a successor in `tainted`
         # (a path of length >= 1 to a ~phi world).
         return self._avoid(encoding, relation, tainted)
@@ -268,13 +287,28 @@ class SymbolicBackend(SetBackend):
         bdd = encoding.bdd
         relation = encoding.group_relation(tuple(agents), "union")
         seen = self.from_worlds(structure, start_worlds).node
+        iterations = 0
         while True:
+            iterations += 1
+            if _obs.ENABLED:
+                _obs.event(
+                    "fixpoint.iter",
+                    loop="reachable",
+                    backend=self.name,
+                    iteration=iterations,
+                    node=seen,
+                )
             # Forward image: exists x. R(x, x') & seen(x), then x' -> x.
             image = bdd.and_exists(relation, seen, encoding.current_levels)
             grown = bdd.or_(seen, encoding.unprime(image))
             if grown == seen:
                 break
             seen = grown
+        if _obs.ENABLED:
+            _obs.counter("fixpoint.iterations", iterations)
+            _obs.event(
+                "fixpoint", loop="reachable", backend=self.name, iterations=iterations
+            )
         return SymbolicWorldSet(encoding, seen)
 
     # -- observability -----------------------------------------------------------------

@@ -97,6 +97,8 @@ reports the high-water mark of each cache and the number of
 overflow-triggered clears.
 """
 
+from repro import obs as _obs
+from repro.obs.registry import attach_aliases, register_manager
 from repro.util.errors import EngineError, VariableOrderError
 
 FALSE = 0
@@ -132,7 +134,13 @@ class BDD:
         "_op_cache",
         "_ite_high_water",
         "_op_high_water",
+        "_ite_hits",
+        "_ite_misses",
+        "_op_hits",
+        "_op_misses",
         "_cache_clears",
+        "_gc_passes",
+        "_gc_purged",
         "_var_nodes",
         "_group_order",
         "_reorder_enabled",
@@ -145,6 +153,7 @@ class BDD:
         "_last_reorder",
         "_live_ref",
         "_live_size",
+        "__weakref__",
     )
 
     def __init__(self, num_vars, cache_ceiling=DEFAULT_CACHE_CEILING):
@@ -166,7 +175,13 @@ class BDD:
         self._op_cache = {}
         self._ite_high_water = 0
         self._op_high_water = 0
+        self._ite_hits = 0
+        self._ite_misses = 0
+        self._op_hits = 0
+        self._op_misses = 0
         self._cache_clears = 0
+        self._gc_passes = 0
+        self._gc_purged = 0
         self._var_nodes = None
         self._group_order = None
         self._reorder_enabled = False
@@ -179,21 +194,30 @@ class BDD:
         self._last_reorder = None
         self._live_ref = None
         self._live_size = 0
+        register_manager(self)
 
     def _bound_ite_cache(self):
-        """Clear the ``ite`` memo when it overflows its ceiling (clearing
-        only forces recomputation; no node id is invalidated)."""
+        """Account one ``ite`` memo miss (stores happen exactly on misses)
+        and clear the memo when it overflows its ceiling (clearing only
+        forces recomputation; no node id is invalidated)."""
+        self._ite_misses += 1
         if self.cache_ceiling is not None and len(self._ite_cache) >= self.cache_ceiling:
             self._ite_high_water = max(self._ite_high_water, len(self._ite_cache))
             self._ite_cache.clear()
             self._cache_clears += 1
+            if _obs.ENABLED:
+                _obs.event("bdd.cache_clear", cache="ite", clears=self._cache_clears)
 
     def _bound_op_cache(self):
-        """Clear the quantify/rename/count memo when it overflows."""
+        """Account one op-memo miss and clear the quantify/rename/count
+        memo when it overflows."""
+        self._op_misses += 1
         if self.cache_ceiling is not None and len(self._op_cache) >= self.cache_ceiling:
             self._op_high_water = max(self._op_high_water, len(self._op_cache))
             self._op_cache.clear()
             self._cache_clears += 1
+            if _obs.ENABLED:
+                _obs.event("bdd.cache_clear", cache="op", clears=self._cache_clears)
 
     # -- node primitives ---------------------------------------------------------
 
@@ -228,6 +252,10 @@ class BDD:
                 # let a safe point (maybe_reorder) run the sift.
                 self._reorder_pending = True
                 self._auto_trigger <<= 1
+                if _obs.ENABLED:
+                    _obs.event(
+                        "bdd.unique_growth", nodes=found, trigger=self._auto_trigger
+                    )
         return found
 
     def var(self, var):
@@ -296,6 +324,7 @@ class BDD:
         key = (f, g, h)
         cached = self._ite_cache.get(key)
         if cached is not None:
+            self._ite_hits += 1
             return cached
         var_ = self._var
         v2l = self._var2level
@@ -349,6 +378,7 @@ class BDD:
         key = ("restrict", u, var, value)
         cached = self._op_cache.get(key)
         if cached is not None:
+            self._op_hits += 1
             return cached
         result = self._node(
             node_var,
@@ -386,6 +416,7 @@ class BDD:
         key = ("exists", u, levels)
         cached = self._op_cache.get(key)
         if cached is not None:
+            self._op_hits += 1
             return cached
         low = self._exists(self._low[u], levels)
         high = self._exists(self._high[u], levels)
@@ -432,6 +463,7 @@ class BDD:
         key = ("and_exists", f, g, levels)
         cached = self._op_cache.get(key)
         if cached is not None:
+            self._op_hits += 1
             return cached
         f0, f1 = self._cofactors(f, level)
         g0, g1 = self._cofactors(g, level)
@@ -478,6 +510,7 @@ class BDD:
         key = ("rename", u, mapping)
         cached = self._op_cache.get(key)
         if cached is not None:
+            self._op_hits += 1
             return cached
         node_var = self._var[u]
         new_var = mapping_dict.get(node_var, node_var)
@@ -519,6 +552,7 @@ class BDD:
         key = ("count", u)
         cached = self._op_cache.get(key)
         if cached is not None:
+            self._op_hits += 1
             return cached
         v2l = self._var2level
         low, high = self._low[u], self._high[u]
@@ -704,11 +738,20 @@ class BDD:
             # Garbage-collect: only reachable nodes keep unique entries (and
             # with them the ability to be returned by ``_node`` or rewritten
             # by swaps).  Zombie slots stay in the arrays but are invalid.
+            purged = 0
             for key, u in list(self._unique.items()):
                 if u not in live_ref:
                     del self._unique[key]
+                    purged += 1
+            self._gc_passes += 1
+            self._gc_purged += purged
+            if _obs.ENABLED:
+                _obs.event("bdd.gc", purged=purged, live=live_size)
         self._build_var_index()
         before = live_size
+        swaps_before = self._swap_count
+        sift_span = _obs.span("bdd.reorder")
+        sift_span.__enter__()
         self._live_ref = live_ref
         self._live_size = live_size
         self._in_reorder = True
@@ -732,6 +775,7 @@ class BDD:
             self._in_reorder = False
             self._live_ref = None
             self._var_nodes = None
+            sift_span.__exit__(None, None, None)
         after = self._live_size
         self.clear_operation_caches()
         self._reorder_count += 1
@@ -739,6 +783,14 @@ class BDD:
         self._reorder_pending = False
         if self._reorder_enabled:
             self._auto_trigger = max(self._reorder_threshold, 2 * len(self._var))
+        if _obs.ENABLED:
+            _obs.event(
+                "bdd.reorder",
+                before=before,
+                after=after,
+                swaps=self._swap_count - swaps_before,
+                trigger=self._auto_trigger,
+            )
         return before, after
 
     def _build_var_index(self):
@@ -924,34 +976,61 @@ class BDD:
     # -- observability -----------------------------------------------------------------
 
     def cache_info(self):
-        """Sizes of the manager's memoisation layers (see module docstring).
+        """Sizes and accounting of the manager's memoisation layers, keyed
+        by the canonical metric schema of :mod:`repro.obs.registry` (see
+        the module docstring there for the full vocabulary).
 
-        ``ite_high_water``/``op_high_water`` report the largest size each
-        operation cache ever reached (including the current size), and
-        ``cache_clears`` counts overflow-triggered clears against
-        ``cache_ceiling`` — the observability hooks of the bounded caches.
-        ``reorder_stats`` reports the dynamic-reordering state: whether the
-        growth trigger is armed/pending, how many reorders and elementary
-        level swaps ran, the live sizes around the last pass and the table
-        size that arms the next request.
+        ``cache.*.high_water`` reports the largest size each operation
+        cache ever reached (including the current size) and survives every
+        clear; ``cache.*.hits``/``cache.*.misses`` account every memo
+        lookup over the manager's lifetime; ``cache.clears`` counts
+        overflow-triggered clears against ``cache.ceiling``;
+        ``gc.passes``/``gc.purged`` the rooted-reorder collections; the
+        ``reorder.*`` keys the dynamic-reordering state.  The historical
+        flat keys (``nodes``, ``ite_cache``, ``ite_high_water``, …) and the
+        nested ``reorder_stats`` dict remain as aliases for one release.
         """
-        return {
-            "nodes": len(self._var) - 2,
-            "ite_cache": len(self._ite_cache),
-            "op_cache": len(self._op_cache),
-            "ite_high_water": max(self._ite_high_water, len(self._ite_cache)),
-            "op_high_water": max(self._op_high_water, len(self._op_cache)),
-            "cache_clears": self._cache_clears,
-            "cache_ceiling": self.cache_ceiling,
-            "reorder_stats": {
-                "enabled": self._reorder_enabled,
-                "pending": self._reorder_pending,
-                "reorders": self._reorder_count,
-                "swaps": self._swap_count,
-                "last_size": self._last_reorder,
-                "trigger": self._auto_trigger,
-            },
+        info = {
+            "unique.nodes": len(self._var) - 2,
+            "cache.ite.size": len(self._ite_cache),
+            "cache.op.size": len(self._op_cache),
+            "cache.ite.high_water": max(self._ite_high_water, len(self._ite_cache)),
+            "cache.op.high_water": max(self._op_high_water, len(self._op_cache)),
+            "cache.ite.hits": self._ite_hits,
+            "cache.ite.misses": self._ite_misses,
+            "cache.op.hits": self._op_hits,
+            "cache.op.misses": self._op_misses,
+            "cache.clears": self._cache_clears,
+            "cache.ceiling": self.cache_ceiling,
+            "gc.passes": self._gc_passes,
+            "gc.purged": self._gc_purged,
+            "reorder.enabled": self._reorder_enabled,
+            "reorder.pending": self._reorder_pending,
+            "reorder.count": self._reorder_count,
+            "reorder.swaps": self._swap_count,
+            "reorder.last_size": self._last_reorder,
+            "reorder.trigger": self._auto_trigger,
         }
+        info["reorder_stats"] = {
+            "enabled": self._reorder_enabled,
+            "pending": self._reorder_pending,
+            "reorders": self._reorder_count,
+            "swaps": self._swap_count,
+            "last_size": self._last_reorder,
+            "trigger": self._auto_trigger,
+        }
+        return attach_aliases(
+            info,
+            {
+                "unique.nodes": "nodes",
+                "cache.ite.size": "ite_cache",
+                "cache.op.size": "op_cache",
+                "cache.ite.high_water": "ite_high_water",
+                "cache.op.high_water": "op_high_water",
+                "cache.clears": "cache_clears",
+                "cache.ceiling": "cache_ceiling",
+            },
+        )
 
     def clear_operation_caches(self):
         """Drop the ``ite`` and quantify/rename/count memos.

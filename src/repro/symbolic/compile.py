@@ -65,6 +65,7 @@ from repro.modeling.expressions import (
 )
 from repro.modeling.state_space import State
 from repro.modeling.variables import Variable
+from repro.obs.registry import attach_aliases
 from repro.symbolic.bdd import BDD, FALSE, TRUE
 from repro.util.errors import ModelError
 
@@ -531,11 +532,17 @@ class VariableEncoding:
     # -- observability -----------------------------------------------------------------
 
     def cache_info(self):
-        """Encoding-level memo sizes merged with the manager's."""
+        """Encoding-level memo sizes merged with the manager's, keyed by
+        the canonical schema of :mod:`repro.obs.registry` (``memo.cubes``,
+        ``memo.expressions``); the historical ``cubes`` / ``expressions``
+        keys remain as aliases for one release."""
         info = dict(self.bdd.cache_info())
-        info["cubes"] = len(self._cube_memo)
-        info["expressions"] = len(self._truth_memo) + len(self._values_memo)
-        return info
+        info["memo.cubes"] = len(self._cube_memo)
+        info["memo.expressions"] = len(self._truth_memo) + len(self._values_memo)
+        return attach_aliases(
+            info,
+            {"memo.cubes": "cubes", "memo.expressions": "expressions"},
+        )
 
     def __repr__(self):
         return (

@@ -40,6 +40,7 @@ those.  All encodings are memoised: the :class:`SymbolicEncoding` itself
 built once per structure and shared by every evaluator.
 """
 
+from repro.obs.registry import attach_aliases
 from repro.symbolic.bdd import BDD, FALSE, TRUE
 
 __all__ = ["SymbolicEncoding", "encoding_for"]
@@ -270,15 +271,26 @@ class SymbolicEncoding:
         self._mask_memo.clear()
 
     def cache_info(self):
-        """Encoding-level cache sizes, merged with the manager's."""
+        """Encoding-level cache sizes merged with the manager's, keyed by
+        the canonical schema of :mod:`repro.obs.registry` (``memo.sets``,
+        ``memo.masks``, ``memo.relations``); the historical ``set_memo`` /
+        ``mask_memo`` / ``relations`` keys remain as aliases for one
+        release."""
         cache = self.structure.engine_cache
         info = dict(self.bdd.cache_info())
-        info["set_memo"] = len(self._set_memo)
-        info["mask_memo"] = len(self._mask_memo)
-        info["relations"] = sum(
+        info["memo.sets"] = len(self._set_memo)
+        info["memo.masks"] = len(self._mask_memo)
+        info["memo.relations"] = sum(
             1 for key in cache if isinstance(key, tuple) and key[0] in ("bdd_rel", "bdd_group")
         )
-        return info
+        return attach_aliases(
+            info,
+            {
+                "memo.sets": "set_memo",
+                "memo.masks": "mask_memo",
+                "memo.relations": "relations",
+            },
+        )
 
     def __repr__(self):
         return (

@@ -64,6 +64,7 @@ from repro.engine import evaluator_for
 from repro.interpretation.functional import GuardTable
 from repro.modeling.expressions import Expression
 from repro.modeling.state_space import Assignment, State, StateSpace, atom_name
+from repro.obs.registry import attach_aliases
 from repro.symbolic.bdd import FALSE, TRUE
 from repro.symbolic.compile import VariableEncoding
 from repro.systems.actions import NOOP_NAME
@@ -580,8 +581,8 @@ class StateSetEncoding:
 
     def cache_info(self):
         info = self.base.cache_info()
-        info["relations"] = len(self._relations)
-        return info
+        info["memo.relations"] = len(self._relations)
+        return attach_aliases(info, {"memo.relations": "relations"})
 
 
 class SymbolicStructure:

@@ -13,12 +13,14 @@ total or end in stable "finished" states where this convention is the
 intended reading.
 """
 
+from repro import obs as _obs
 from repro.engine import (
     apply_epistemic,
     apply_epistemic_many,
     collect_ready_epistemic,
     resolve_backend,
 )
+from repro.obs.registry import attach_aliases
 from repro.logic.formula import (
     And,
     CommonKnows,
@@ -235,10 +237,25 @@ class CTLKModelChecker:
         return self._cache[formula]
 
     def cache_info(self):
-        """Observability of the per-formula extension memo: entry count and
-        hit/miss counters of :meth:`extension` lookups (recursive subformula
-        lookups included — shared subformulas show up as hits)."""
-        return {"formulas": len(self._cache), "hits": self._hits, "misses": self._misses}
+        """Observability of the per-formula extension memo, keyed by the
+        canonical schema of :mod:`repro.obs.registry`: ``memo.formulas``
+        counts entries, ``cache.hits``/``cache.misses`` the
+        :meth:`extension` lookups (recursive subformula lookups included —
+        shared subformulas show up as hits).  The historical ``formulas`` /
+        ``hits`` / ``misses`` keys remain as aliases for one release."""
+        info = {
+            "memo.formulas": len(self._cache),
+            "cache.hits": self._hits,
+            "cache.misses": self._misses,
+        }
+        return attach_aliases(
+            info,
+            {
+                "memo.formulas": "formulas",
+                "cache.hits": "hits",
+                "cache.misses": "misses",
+            },
+        )
 
     def holds(self, state, formula):
         """Return ``True`` iff ``formula`` holds at the reachable ``state``."""
@@ -385,7 +402,9 @@ class CTLKModelChecker:
         """Standard backward fixed point for ``E[hold U target]``."""
         result = set(target)
         frontier = list(target)
+        processed = 0
         while frontier:
+            processed += 1
             state = frontier.pop()
             for predecessor in self._predecessors[state]:
                 if predecessor in result:
@@ -393,6 +412,14 @@ class CTLKModelChecker:
                 if predecessor in hold or predecessor in target:
                     result.add(predecessor)
                     frontier.append(predecessor)
+        if _obs.ENABLED:
+            _obs.event(
+                "fixpoint",
+                loop="ctlk.eu",
+                backend="explicit",
+                iterations=processed,
+                result=len(result),
+            )
         return result
 
     def _greatest_fixpoint_eg(self, hold):
@@ -415,7 +442,9 @@ class CTLKModelChecker:
             counts[state] = count
             if not count:
                 dead.append(state)
+        deleted = 0
         while dead:
+            deleted += 1
             state = dead.pop()
             result.discard(state)
             for predecessor in self._predecessors[state]:
@@ -423,6 +452,14 @@ class CTLKModelChecker:
                     counts[predecessor] -= 1
                     if not counts[predecessor]:
                         dead.append(predecessor)
+        if _obs.ENABLED:
+            _obs.event(
+                "fixpoint",
+                loop="ctlk.eg",
+                backend="explicit",
+                iterations=deleted,
+                result=len(result),
+            )
         return result
 
 

@@ -33,11 +33,13 @@ and :func:`~repro.temporal.ctlk.check_reachable` work unchanged on systems
 no explicit checker could hold in memory.
 """
 
+from repro import obs as _obs
 from repro.engine import (
     apply_epistemic_many,
     collect_ready_epistemic,
     resolve_backend,
 )
+from repro.obs.registry import attach_aliases
 from repro.logic.formula import (
     And,
     CommonKnows,
@@ -130,10 +132,26 @@ class SymbolicCTLKModelChecker:
         return None
 
     def cache_info(self):
-        """Observability of the per-formula extension memo: entry count and
-        hit/miss counters of :meth:`extension_node` lookups (recursive
-        subformula lookups included — shared subformulas show up as hits)."""
-        return {"formulas": len(self._cache), "hits": self._hits, "misses": self._misses}
+        """Observability of the per-formula extension memo, keyed by the
+        canonical schema of :mod:`repro.obs.registry`: ``memo.formulas``
+        counts entries, ``cache.hits``/``cache.misses`` the
+        :meth:`extension_node` lookups (recursive subformula lookups
+        included — shared subformulas show up as hits).  The historical
+        ``formulas`` / ``hits`` / ``misses`` keys remain as aliases for one
+        release."""
+        info = {
+            "memo.formulas": len(self._cache),
+            "cache.hits": self._hits,
+            "cache.misses": self._misses,
+        }
+        return attach_aliases(
+            info,
+            {
+                "memo.formulas": "formulas",
+                "cache.hits": "hits",
+                "cache.misses": "misses",
+            },
+        )
 
     # -- evaluation --------------------------------------------------------------------
 
@@ -253,10 +271,25 @@ class SymbolicCTLKModelChecker:
         """Backward least fixed point ``Z = target ∨ (hold ∧ EX Z)``."""
         bdd = self.bdd
         current = target
+        iterations = 0
         while True:
+            iterations += 1
+            if _obs.ENABLED:
+                _obs.event(
+                    "fixpoint.iter",
+                    loop="ctlk.eu",
+                    backend="bdd",
+                    iteration=iterations,
+                    node=current,
+                )
             self._safe_point((hold, target, current))
             expanded = bdd.or_(current, bdd.and_(hold, self._pre_exists(current)))
             if expanded == current:
+                if _obs.ENABLED:
+                    _obs.counter("fixpoint.iterations", iterations)
+                    _obs.event(
+                        "fixpoint", loop="ctlk.eu", backend="bdd", iterations=iterations
+                    )
                 return current
             current = expanded
 
@@ -265,10 +298,25 @@ class SymbolicCTLKModelChecker:
         ``hold`` forever — the relation is total, so paths never strand)."""
         bdd = self.bdd
         current = hold
+        iterations = 0
         while True:
+            iterations += 1
+            if _obs.ENABLED:
+                _obs.event(
+                    "fixpoint.iter",
+                    loop="ctlk.eg",
+                    backend="bdd",
+                    iteration=iterations,
+                    node=current,
+                )
             self._safe_point((hold, current))
             contracted = bdd.and_(current, self._pre_exists(current))
             if contracted == current:
+                if _obs.ENABLED:
+                    _obs.counter("fixpoint.iterations", iterations)
+                    _obs.event(
+                        "fixpoint", loop="ctlk.eg", backend="bdd", iterations=iterations
+                    )
                 return current
             current = contracted
 
