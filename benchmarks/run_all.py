@@ -420,8 +420,22 @@ def main(argv=None):
         action="store_true",
         help="skip the warn-only comparison against the committed snapshot",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="arm an ambient wall-clock budget for the whole run "
+        "(repro.resilience); a stuck workload raises BudgetExceededError "
+        "instead of hanging CI",
+    )
     args = parser.parse_args(argv)
     backends = args.backends or available_backends()
+
+    if args.deadline:
+        from repro.resilience import Budget
+
+        Budget(wall_seconds=args.deadline).__enter__()
 
     results = []
     for backend_name in backends:

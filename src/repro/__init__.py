@@ -28,6 +28,7 @@ from repro import (
     logic,
     modeling,
     programs,
+    resilience,
     systems,
     temporal,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "logic",
     "modeling",
     "programs",
+    "resilience",
     "systems",
     "temporal",
     "parse",

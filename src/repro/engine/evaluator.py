@@ -34,6 +34,7 @@ from repro.logic.formula import (
     TrueFormula,
 )
 from repro import obs as _obs
+from repro import resilience as _res
 from repro.engine.backend import resolve_backend
 from repro.obs.registry import attach_aliases
 from repro.util.errors import FormulaError, ModelError
@@ -143,6 +144,13 @@ class Evaluator:
             if not groups:
                 break
             for nodes in groups.values():
+                if _res.ACTIVE:
+                    # Batch boundaries are the evaluator's safe points
+                    # (deadline/cancellation only — batches are not
+                    # fixed-point iterations and hold no single manager).
+                    bud = _res.current_budget()
+                    if bud is not None:
+                        bud.tick("evaluator.batch")
                 if _obs.ENABLED:
                     _obs.counter("evaluator.batch.groups")
                     _obs.counter("evaluator.batch.operands", len(nodes))

@@ -110,6 +110,7 @@ def enumerate_implementations_explicit(
     max_free_states=16,
     require_local=True,
     max_states=100000,
+    budget=None,
 ):
     """The enumerating search worker (see
     :func:`repro.interpretation.synthesis.enumerate_implementations` for the
@@ -121,4 +122,4 @@ def enumerate_implementations_explicit(
         require_local=require_local,
         max_states=max_states,
     )
-    return run_candidate_search(ops, max_free_states)
+    return run_candidate_search(ops, max_free_states, budget=budget)

@@ -71,6 +71,7 @@ transparently through its ``is_symbolic_model`` dispatch:
 """
 
 from repro import obs as _obs
+from repro import resilience as _res
 from repro.interpretation.functional import guard_table
 from repro.interpretation.iteration import IterationResult, _fallback_set
 from repro.obs.registry import hit_rate
@@ -81,7 +82,13 @@ from repro.interpretation.synthesis import (
 from repro.symbolic.bdd import FALSE, TRUE
 from repro.systems.actions import NOOP_NAME
 from repro.systems.protocols import JointProtocol, Protocol
-from repro.util.errors import InterpretationError, ModelError, ProgramError
+from repro.util.errors import (
+    BudgetExceededError,
+    InterpretationError,
+    IterationLimitError,
+    ModelError,
+    ProgramError,
+)
 from repro.util.helpers import stable_sort_key
 
 __all__ = [
@@ -95,12 +102,33 @@ __all__ = [
 ]
 
 
+def _construct_partial(rounds, seen, frontier, decided, selection):
+    """Snapshot the construction loop's state as a resumable partial."""
+    return _res.PartialProgress(
+        "construct_by_rounds_symbolic",
+        rounds=rounds,
+        seen=seen,
+        frontier=frontier,
+        decided=dict(decided),
+        selection={agent: dict(table) for agent, table in selection.items()},
+    )
+
+
+def _check_resume(resume, kind):
+    if getattr(resume, "kind", None) != kind:
+        raise InterpretationError(
+            f"cannot resume {kind} from a {getattr(resume, 'kind', None)!r} partial"
+        )
+
+
 def construct_by_rounds_symbolic(
     program,
     model,
     max_rounds=1000,
     require_local=True,
     verify=True,
+    budget=None,
+    resume=None,
 ):
     """Depth-stratified construction over a symbolic context model.
 
@@ -109,80 +137,129 @@ def construct_by_rounds_symbolic(
     knowledge queries through the symbolic evaluator) and whose
     ``protocol`` is a callable-backed joint protocol evaluating the frozen
     class BDDs at any concrete local state.
+
+    ``budget`` installs a :class:`repro.resilience.Budget` for the call;
+    a raise carries the last completed round's state as a
+    :class:`~repro.resilience.PartialProgress`, and passing that partial
+    back as ``resume`` (against the *same* model, whose manager keeps every
+    node id valid) continues the construction where it stopped — the
+    canonical kernel guarantees the resumed run reaches the identical
+    fixed point.
     """
     for agent in program.agents:
         program.program(agent)  # validate agents exist in the program
 
     bdd = model.encoding.bdd
-    seen = model.initial
-    frontier = model.initial
-    decided = {agent: FALSE for agent in model.agents}
-    selection = {agent: {} for agent in model.agents}
+    if resume is not None:
+        _check_resume(resume, "construct_by_rounds_symbolic")
+        seen = resume.seen
+        frontier = resume.frontier
+        decided = dict(resume.decided)
+        selection = {agent: dict(table) for agent, table in resume.selection.items()}
+        rounds = resume.rounds
+    else:
+        seen = model.initial
+        frontier = model.initial
+        decided = {agent: FALSE for agent in model.agents}
+        selection = {agent: {} for agent in model.agents}
+        rounds = 0
 
-    rounds = 0
-    while frontier != FALSE and rounds < max_rounds:
-        rounds += 1
-        if _obs.ENABLED:
-            # Round-granularity telemetry is cheap relative to a round's BDD
-            # work: two model counts and a read of the kernel's counters.
-            _obs.event(
-                "construct.round",
-                round=rounds,
-                frontier=model.encoding.count(frontier),
-                states=model.encoding.count(seen),
-                backend="bdd",
-                cache_hit_rate=hit_rate(
-                    bdd._ite_hits + bdd._op_hits, bdd._ite_misses + bdd._op_misses
-                ),
-            )
-        if bdd.reorder_pending:
-            # Round boundaries are the construction's precise safe points:
-            # everything the loop holds is enumerable here, so a pending
-            # sift can collect unreachable junk as well.
-            in_flight = [seen, frontier]
-            in_flight += decided.values()
-            for agent_selection in selection.values():
-                in_flight += agent_selection.values()
-            model.maybe_reorder(in_flight)
-        view = model.view(seen)
-        # One symbolic guard table per round's view: all clause guards are
-        # evaluated over the accumulated states in one batched engine pass,
-        # and each agent's newly appearing classes are decided at once.
-        table = guard_table(view, program)
-        for agent in model.agents:
-            new_classes = bdd.diff(view.project(agent, frontier), decided[agent])
-            if new_classes == FALSE:
-                continue
-            enabled = table.enabled_sets(agent, new_classes, require_local=require_local)
-            agent_selection = selection[agent]
-            for action, classes in enabled.items():
-                agent_selection[action] = bdd.or_(
-                    agent_selection.get(action, FALSE), classes
+    with _res.activate(budget) as bud:
+        snapshot = None
+        while frontier != FALSE and rounds < max_rounds:
+            if bud is not None:
+                # Eager snapshot: if the budget fires anywhere inside the
+                # round (including from the kernel mid-operation), the
+                # partial must describe the consistent pre-round state, not
+                # a half-mutated one.
+                snapshot = _construct_partial(rounds, seen, frontier, decided, selection)
+                roots = lambda: model.reorder_roots() + _in_flight_nodes(
+                    seen, frontier, decided, selection
                 )
-            decided[agent] = bdd.or_(decided[agent], new_classes)
-        targets = model.successors(frontier, selection)
-        frontier = bdd.diff(targets, seen)
-        seen = bdd.or_(seen, frontier)
+                bud.tick(
+                    "construct.round",
+                    iterations=rounds,
+                    manager=bdd,
+                    roots=roots,
+                    groups=model.encoding.reorder_groups,
+                    partial=snapshot,
+                )
+            rounds += 1
+            try:
+                if _obs.ENABLED:
+                    # Round-granularity telemetry is cheap relative to a round's BDD
+                    # work: two model counts and a read of the kernel's counters.
+                    _obs.event(
+                        "construct.round",
+                        round=rounds,
+                        frontier=model.encoding.count(frontier),
+                        states=model.encoding.count(seen),
+                        backend="bdd",
+                        cache_hit_rate=hit_rate(
+                            bdd._ite_hits + bdd._op_hits, bdd._ite_misses + bdd._op_misses
+                        ),
+                    )
+                if bdd.reorder_pending:
+                    # Round boundaries are the construction's precise safe points:
+                    # everything the loop holds is enumerable here, so a pending
+                    # sift can collect unreachable junk as well.
+                    model.maybe_reorder(
+                        _in_flight_nodes(seen, frontier, decided, selection)
+                    )
+                view = model.view(seen)
+                # One symbolic guard table per round's view: all clause guards are
+                # evaluated over the accumulated states in one batched engine pass,
+                # and each agent's newly appearing classes are decided at once.
+                table = guard_table(view, program)
+                for agent in model.agents:
+                    new_classes = bdd.diff(view.project(agent, frontier), decided[agent])
+                    if new_classes == FALSE:
+                        continue
+                    enabled = table.enabled_sets(
+                        agent, new_classes, require_local=require_local
+                    )
+                    agent_selection = selection[agent]
+                    for action, classes in enabled.items():
+                        agent_selection[action] = bdd.or_(
+                            agent_selection.get(action, FALSE), classes
+                        )
+                    decided[agent] = bdd.or_(decided[agent], new_classes)
+                targets = model.successors(frontier, selection)
+                frontier = bdd.diff(targets, seen)
+                seen = bdd.or_(seen, frontier)
+            except BudgetExceededError as error:
+                raise error.attach_partial(snapshot)
 
-    if frontier != FALSE:
-        raise InterpretationError(
-            f"round-by-round construction did not close within {max_rounds} rounds"
-        )
+        if frontier != FALSE:
+            raise IterationLimitError(
+                f"round-by-round construction did not close within {max_rounds} rounds",
+                reason="iterations",
+                site="construct.round",
+                diagnostics={"max_rounds": max_rounds},
+                partial=_construct_partial(rounds, seen, frontier, decided, selection),
+            )
 
-    if _obs.ENABLED:
-        _obs.event(
-            "fixpoint",
-            loop="construct_by_rounds",
-            backend="bdd",
-            iterations=rounds,
-            result=model.encoding.count(seen),
-        )
-    verified = None
-    if verify:
-        verified = _verify_fixed_point(
-            program, model, seen, decided, selection, require_local
-        )
-    protocol = _materialise_protocol(program, model, selection, decided)
+        if _obs.ENABLED:
+            _obs.event(
+                "fixpoint",
+                loop="construct_by_rounds",
+                backend="bdd",
+                iterations=rounds,
+                result=model.encoding.count(seen),
+            )
+        try:
+            verified = None
+            if verify:
+                verified = _verify_fixed_point(
+                    program, model, seen, decided, selection, require_local
+                )
+            protocol = _materialise_protocol(program, model, selection, decided)
+        except BudgetExceededError as error:
+            # The loop closed; a raise during verification still hands back
+            # the full construction state (resuming redoes only the check).
+            raise error.attach_partial(
+                _construct_partial(rounds, seen, frontier, decided, selection)
+            )
     system = SymbolicSystem(model, seen, rounds, selection=selection)
     return IterationResult(
         converged=bool(verified) if verify else True,
@@ -193,12 +270,34 @@ def construct_by_rounds_symbolic(
     )
 
 
+def _in_flight_nodes(seen, frontier, decided, selection):
+    """The construction loop's live nodes (reorder roots / sift extras)."""
+    nodes = [seen, frontier]
+    nodes += decided.values()
+    for agent_selection in selection.values():
+        nodes += agent_selection.values()
+    return nodes
+
+
+def _iterate_partial(iteration, current, history, seen_states):
+    """Snapshot the fixed-point loop's state as a resumable partial."""
+    return _res.PartialProgress(
+        "iterate_interpretation_symbolic",
+        iteration=iteration,
+        current={agent: dict(table) for agent, table in current.items()},
+        history=list(history),
+        seen_states=dict(seen_states),
+    )
+
+
 def iterate_interpretation_symbolic(
     program,
     model,
     seed="liberal",
     max_iterations=100,
     require_local=True,
+    budget=None,
+    resume=None,
 ):
     """Iterate ``P_{k+1} = Pg^{I_rep(P_k)}`` entirely on BDDs.
 
@@ -231,22 +330,52 @@ def iterate_interpretation_symbolic(
         program.program(agent)  # validate agents exist in the program
 
     bdd = model.encoding.bdd
-    current = _seed_selection(program, model, seed)
+    if resume is not None:
+        _check_resume(resume, "iterate_interpretation_symbolic")
+        current = {agent: dict(table) for agent, table in resume.current.items()}
+        seen_states = dict(resume.seen_states)
+        history = list(resume.history)
+        start = resume.iteration
+    else:
+        current = _seed_selection(program, model, seed)
+        seen_states = {}
+        history = []
+        start = 0
 
-    seen_states = {}
-    history = []
-    for iteration in range(max_iterations):
+    with _res.activate(budget) as bud:
+        holder = []
+        try:
+            return _iterate_symbolic_loop(
+                program, model, bdd, current, seen_states, history,
+                start, max_iterations, require_local, bud, holder,
+            )
+        except BudgetExceededError as error:
+            # A kernel-level raise mid-iteration carries no partial of its
+            # own; hand back the last consistent pre-iteration snapshot.
+            raise error.attach_partial(holder[0] if holder else None)
+
+
+def _iterate_symbolic_loop(
+    program, model, bdd, current, seen_states, history,
+    start, max_iterations, require_local, bud, holder,
+):
+    for iteration in range(start, max_iterations):
+        if bud is not None:
+            snapshot = _iterate_partial(iteration, current, history, seen_states)
+            holder[:] = [snapshot]
+            bud.tick(
+                "fixpoint.iter",
+                iterations=iteration,
+                manager=bdd,
+                roots=lambda: _iterate_in_flight(model, current, history),
+                groups=model.encoding.reorder_groups,
+                partial=snapshot,
+            )
         if bdd.reorder_pending:
             # Iteration boundaries are precise safe points: the loop holds
             # only the current selection, the memoised state-set views
             # (rooted by the model) and the signature nodes in ``history``.
-            in_flight = []
-            for agent_selection in current.values():
-                in_flight += agent_selection.values()
-            for signature in history:
-                for _agent, entries in signature:
-                    in_flight += [node for _action, node in entries]
-            model.maybe_reorder(in_flight)
+            model.maybe_reorder(_iterate_in_flight(model, current, history))
         states, rounds, current = _reach(program, model, current)
         if _obs.ENABLED:
             _obs.event(
@@ -318,9 +447,24 @@ def iterate_interpretation_symbolic(
             )
         seen_states[states] = iteration
         current = derived
-    raise InterpretationError(
-        f"interpretation of {model.name!r} did not stabilise within {max_iterations} iterations"
+    raise IterationLimitError(
+        f"interpretation of {model.name!r} did not stabilise within {max_iterations} iterations",
+        reason="iterations",
+        site="fixpoint.iter",
+        diagnostics={"max_iterations": max_iterations},
+        partial=_iterate_partial(max_iterations, current, history, seen_states),
     )
+
+
+def _iterate_in_flight(model, current, history):
+    """The fixed-point loop's live nodes (reorder roots / sift extras)."""
+    in_flight = []
+    for agent_selection in current.values():
+        in_flight += agent_selection.values()
+    for signature in history:
+        for _agent, entries in signature:
+            in_flight += [node for _action, node in entries]
+    return in_flight
 
 
 def _seed_selection(program, model, seed):
@@ -806,6 +950,7 @@ def enumerate_implementations_symbolic(
     all_states=None,
     max_free_states=16,
     require_local=True,
+    budget=None,
 ):
     """The symbolic search worker (see
     :func:`repro.interpretation.synthesis.enumerate_implementations` for the
@@ -816,7 +961,7 @@ def enumerate_implementations_symbolic(
     ops = SymbolicSynthesisOps(
         program, model, all_states=all_states, require_local=require_local
     )
-    return run_candidate_search(ops, max_free_states)
+    return run_candidate_search(ops, max_free_states, budget=budget)
 
 
 class SymbolicSystem:

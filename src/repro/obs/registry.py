@@ -61,10 +61,12 @@ import weakref
 
 __all__ = [
     "SCHEMA",
+    "add_register_hook",
     "attach_aliases",
     "bdd_metrics",
     "checkpoint",
     "hit_rate",
+    "live_managers",
     "register_manager",
 ]
 
@@ -125,6 +127,19 @@ def hit_rate(hits, misses):
 
 _managers = weakref.WeakValueDictionary()
 _next_serial = 0
+_register_hooks = []
+
+
+def add_register_hook(hook):
+    """Call ``hook(manager)`` for every BDD manager registered from now on.
+
+    This is how cross-cutting layers attach themselves to managers they did
+    not create — :mod:`repro.resilience` arms new managers with the ambient
+    budget through one.  Hooks must be cheap and must not raise (a manager
+    under construction is not a safe place to fail); they are never removed.
+    """
+    _register_hooks.append(hook)
+    return hook
 
 
 def register_manager(manager):
@@ -133,7 +148,15 @@ def register_manager(manager):
     serial = _next_serial
     _next_serial += 1
     _managers[serial] = manager
+    for hook in _register_hooks:
+        hook(manager)
     return serial
+
+
+def live_managers(since=0):
+    """The live registered managers created at or after ``since`` (a
+    :func:`checkpoint` value; 0 = all), in creation order."""
+    return [manager for serial, manager in sorted(_managers.items()) if serial >= since]
 
 
 def checkpoint():

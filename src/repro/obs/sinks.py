@@ -18,6 +18,7 @@ kind) for consumers that need individual samples — per-spec fuzz timing
 percentiles, schema tests.
 """
 
+import atexit
 import json
 
 __all__ = [
@@ -129,12 +130,18 @@ class JsonlSink:
         else:
             self._file = open(path, mode, buffering=1, encoding="utf-8")
             self._owns = True
+            # Traces opened by path (notably the REPRO_TRACE import hook)
+            # are flushed and closed at interpreter exit even when nobody
+            # calls close() — the last buffered line of a crashed or
+            # short-lived process would otherwise be lost.
+            atexit.register(self.close)
 
     def emit(self, record):
         self._file.write(json.dumps(record, default=_json_safe) + "\n")
 
     def close(self):
         if self._owns and not self._file.closed:
+            self._file.flush()
             self._file.close()
 
 

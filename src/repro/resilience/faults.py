@@ -1,0 +1,263 @@
+"""Deterministic fault injection at the engine's instrumented hook points.
+
+The obs layer already names every interesting moment of a computation —
+``bdd.unique_growth``, ``bdd.cache_clear``, ``bdd.gc``, ``bdd.reorder``,
+``construct.round``, ``fixpoint.iter``, ``evaluator.batch``, ... — and its
+sinks run *synchronously inside the emitting call site*, so a sink that
+raises interrupts the engine exactly where the record was produced.  A
+:class:`FaultInjector` exploits that: it installs itself as an obs sink,
+counts occurrences per site name, and performs a scheduled *action* at the
+chosen occurrence:
+
+``"raise"``
+    raise :class:`InjectedFault` out of the hook point (the default, and
+    the interesting one: it probes exception-safety);
+``"cache_clear"``
+    drop the operation caches of every live BDD manager mid-computation
+    (must be invisible: clears only force recomputation);
+``"reorder_request"``
+    set the reorder-pending flag on every reorder-enabled manager, forcing
+    a sift at the next safe point.
+
+Two hook points are too structural to route through obs records:
+``bdd.swap`` fires via the explicit :func:`fire` hook between elementary
+level swaps inside ``BDD._swap_levels`` (so an injected raise lands
+mid-sift, the case ``reorder()`` must survive), guarded by the module-level
+:data:`ARMED` flag at zero cost while no injector is installed.
+
+Everything is seeded and deterministic: :func:`seeded_plan` derives a
+reproducible schedule from an integer seed (CI uses the run number), and a
+plan's trigger occurrences depend only on the workload, never on wall
+time.  The chaos suite (``tests/test_chaos.py``) runs workloads under
+injection and asserts :func:`check_kernel_invariants` afterwards.
+"""
+
+import random
+
+from repro.obs import registry as _registry
+
+__all__ = [
+    "ARMED",
+    "FaultInjector",
+    "InjectedFault",
+    "SITES",
+    "check_kernel_invariants",
+    "fire",
+    "seeded_plan",
+    "suppressed",
+]
+
+ARMED = False
+"""True while at least one injector is installed; the explicit fault
+points (``BDD._swap_levels``) guard their :func:`fire` call with it."""
+
+_INJECTORS = []
+_SUPPRESS = 0
+
+SITES = (
+    "bdd.unique_growth",
+    "bdd.cache_clear",
+    "bdd.gc",
+    "bdd.reorder",
+    "bdd.swap",
+    "construct.round",
+    "fixpoint.iter",
+    "fixpoint",
+    "evaluator.batch",
+    "synthesis.candidate",
+    "spec.fuzz.check",
+)
+"""The registered injection sites: the obs hook-point names the engine
+emits plus the explicit kernel hooks.  (A site only triggers on workloads
+that actually reach it.)"""
+
+
+class InjectedFault(Exception):
+    """The deliberate failure an injector raises at a scheduled site.
+
+    Deliberately *not* a :class:`~repro.util.errors.ReproError`: library
+    code that catches its own error classes for recovery must not mistake
+    an injected crash for a condition it knows how to handle.
+    """
+
+    def __init__(self, site, occurrence):
+        super().__init__(f"injected fault at {site!r} (occurrence {occurrence})")
+        self.site = site
+        self.occurrence = occurrence
+
+
+class suppressed:
+    """Disable every installed injector for the body — used by recovery
+    code (``BDD._repair_group_adjacency``) that must not be re-injected."""
+
+    def __enter__(self):
+        global _SUPPRESS
+        _SUPPRESS += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        global _SUPPRESS
+        _SUPPRESS -= 1
+        return False
+
+
+def fire(site):
+    """The explicit hook-point entry: notify every installed injector that
+    ``site`` was reached (no-op while nothing is armed or suppression is
+    active)."""
+    for injector in _INJECTORS:
+        injector.observe(site)
+
+
+def seeded_plan(seed, sites=SITES, faults=1, max_occurrence=25, actions=("raise",)):
+    """A deterministic fault schedule from an integer seed.
+
+    Picks ``faults`` (site, occurrence, action) triples with occurrences in
+    ``[1, max_occurrence]``; the same seed always yields the same schedule.
+    Returns a list of triples, ready for :class:`FaultInjector`.
+    """
+    rng = random.Random(seed)
+    plan = []
+    for _ in range(faults):
+        site = rng.choice(list(sites))
+        occurrence = rng.randint(1, max_occurrence)
+        action = rng.choice(list(actions))
+        plan.append((site, occurrence, action))
+    return plan
+
+
+class FaultInjector:
+    """Install a fault schedule over the engine's hook points.
+
+    ``plan`` is an iterable of ``(site, occurrence, action)`` triples: at
+    the ``occurrence``-th time ``site`` is reached, perform ``action``.
+    Used as a context manager::
+
+        with FaultInjector([("bdd.swap", 7, "raise")]) as chaos:
+            with pytest.raises(InjectedFault):
+                workload()
+        assert chaos.fired
+
+    The injector doubles as an obs sink, so installing it flips obs on —
+    occurrence counts include every record whose ``name`` matches a site,
+    which is deterministic for a fixed workload.  ``counts`` exposes the
+    per-site occurrence counters and ``fired`` the log of performed
+    actions.
+    """
+
+    def __init__(self, plan):
+        self.schedule = {}
+        for site, occurrence, action in plan:
+            self.schedule.setdefault(site, {})[occurrence] = action
+        self.counts = {}
+        self.fired = []
+
+    # -- obs sink interface ------------------------------------------------------------
+
+    def emit(self, record):
+        self.observe(record["name"])
+
+    def observe(self, site):
+        if _SUPPRESS:
+            return
+        count = self.counts.get(site, 0) + 1
+        self.counts[site] = count
+        action = self.schedule.get(site, {}).get(count)
+        if action is not None:
+            self._perform(site, count, action)
+
+    def _perform(self, site, occurrence, action):
+        self.fired.append((site, occurrence, action))
+        if action == "raise":
+            raise InjectedFault(site, occurrence)
+        if action == "cache_clear":
+            for manager in _registry.live_managers():
+                if hasattr(manager, "clear_operation_caches"):
+                    manager.clear_operation_caches()
+        elif action == "reorder_request":
+            for manager in _registry.live_managers():
+                if getattr(manager, "reorder_enabled", False):
+                    manager._reorder_pending = True
+        else:
+            raise ValueError(f"unknown fault action {action!r}")
+
+    # -- installation ------------------------------------------------------------------
+
+    def __enter__(self):
+        global ARMED
+        from repro import obs as _obs
+
+        _INJECTORS.append(self)
+        ARMED = True
+        _obs.add_sink(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        global ARMED
+        from repro import obs as _obs
+
+        _obs.remove_sink(self)
+        try:
+            _INJECTORS.remove(self)
+        except ValueError:
+            pass
+        ARMED = bool(_INJECTORS)
+        return False
+
+
+def check_kernel_invariants(bdd):
+    """Assert the structural invariants of a BDD manager; returns a small
+    stats dict on success, raises ``AssertionError`` naming the violation.
+
+    Checked after every injected failure by the chaos suite:
+
+    - the node arrays agree in length and the terminals are intact;
+    - ``_var2level`` / ``_level2var`` are inverse permutations;
+    - every unique-table entry's key matches its node's current triple;
+    - every table node is reduced and its children test strictly deeper
+      levels and are themselves terminals or live table entries;
+    - the operation caches only reference valid (non-purged) nodes;
+    - no reorder is marked in flight and its transient structures are torn
+      down; a pending request implies the trigger is armed.
+    """
+    n = len(bdd._var)
+    assert len(bdd._low) == n and len(bdd._high) == n, "node arrays disagree in length"
+    assert bdd._var[0] == bdd.num_vars and bdd._var[1] == bdd.num_vars, "terminals corrupted"
+    size = bdd.num_vars + 1
+    assert sorted(bdd._var2level) == list(range(size)), "_var2level is not a permutation"
+    assert sorted(bdd._level2var) == list(range(size)), "_level2var is not a permutation"
+    for var in range(size):
+        assert bdd._level2var[bdd._var2level[var]] == var, (
+            f"_var2level/_level2var disagree at variable {var}"
+        )
+    live = set(bdd._unique.values())
+    v2l = bdd._var2level
+    for key, u in bdd._unique.items():
+        assert 1 < u < n, f"unique entry {key!r} -> invalid node id {u}"
+        triple = (bdd._var[u], bdd._low[u], bdd._high[u])
+        assert key == triple, f"unique key {key!r} does not match node {u} triple {triple!r}"
+        var, low, high = triple
+        assert low != high, f"node {u} is not reduced"
+        for child in (low, high):
+            assert child <= 1 or child in live, f"node {u} points at purged node {child}"
+            assert v2l[bdd._var[child]] > v2l[var], (
+                f"node {u} violates the order invariant via child {child}"
+            )
+    for cache_name, cache in (("ite", bdd._ite_cache), ("op", bdd._op_cache)):
+        for value in cache.values():
+            if isinstance(value, int) and cache_name == "ite":
+                assert value <= 1 or value in live, (
+                    f"{cache_name} cache holds purged node {value}"
+                )
+    assert not bdd._in_reorder, "manager left marked in-reorder"
+    assert bdd._live_ref is None, "reorder live-ref table not torn down"
+    assert bdd._var_nodes is None, "reorder variable index not torn down"
+    if bdd._reorder_pending:
+        assert bdd._auto_trigger is not None, "pending reorder with no armed trigger"
+    if bdd._group_order is not None:
+        for group in bdd._group_order:
+            levels = sorted(bdd._var2level[var] for var in group)
+            assert levels == list(range(levels[0], levels[0] + len(group))), (
+                f"keep-group {group!r} is split across levels {levels!r}"
+            )
+    return {"nodes": n - 2, "live": len(live)}

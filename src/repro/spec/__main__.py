@@ -88,6 +88,15 @@ def main(argv=None):
     parser.add_argument(
         "--seed", type=int, default=0, help="fuzzer seed (default 0)"
     )
+    parser.add_argument(
+        "--spec-deadline",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-spec wall-clock budget for --fuzz; a spec whose check "
+        "exceeds it is counted as timed out instead of stalling the "
+        "campaign (default 60, 0 disables)",
+    )
     options = parser.parse_args(argv)
 
     if options.list:
@@ -98,11 +107,17 @@ def main(argv=None):
     if options.fuzz is not None:
         from repro.spec.fuzz import run_fuzz
 
-        stats = run_fuzz(options.fuzz, seed=options.seed, timings=True)
+        stats = run_fuzz(
+            options.fuzz,
+            seed=options.seed,
+            timings=True,
+            spec_deadline=options.spec_deadline or None,
+        )
         print(
             f"checked {stats['checked']} specs (seed {options.seed}): "
             f"{stats['converged']} constructed ({stats['states_total']} states total), "
-            f"{stats['failed_cleanly']} failed identically on both paths"
+            f"{stats['failed_cleanly']} failed identically on both paths, "
+            f"{stats['timed_out']} timed out"
         )
         timing = stats.get("timing")
         if timing:

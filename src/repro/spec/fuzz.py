@@ -24,7 +24,9 @@ line; ``tests/test_spec_fuzz.py`` pins a seeded run in tier-1.
 import random
 
 from repro import obs as _obs
+from repro import resilience as _res
 from repro.logic.formula import Knows, Not
+from repro.util.errors import BudgetExceededError, IterationLimitError
 from repro.modeling.expressions import Comparison, Const, Ite, VarRef
 from repro.modeling.state_space import Assignment
 from repro.modeling.variables import boolean, ranged
@@ -197,6 +199,14 @@ def _construct(program, context_or_model):
     try:
         checked = program.check_against_context(context_or_model)
         return construct_by_rounds(checked, context_or_model), None
+    except IterationLimitError as error:
+        # A loop-limit failure is a legitimate, deterministic outcome both
+        # lowerings must agree on — and it now carries the partial progress.
+        return None, type(error).__name__
+    except BudgetExceededError:
+        # A deadline/cancellation raise is *not* a property of the spec
+        # (wall time is nondeterministic); let the fuzz driver count it.
+        raise
     except Exception as error:  # the construction may legitimately fail
         return None, type(error).__name__
 
@@ -283,21 +293,27 @@ def _percentile(sorted_values, fraction):
     return sorted_values[rank]
 
 
-def run_fuzz(count=50, seed=0, timings=False):
+def run_fuzz(count=50, seed=0, timings=False, spec_deadline=None):
     """Generate and differential-check ``count`` random specs.
 
     Returns a summary dict (``checked``, ``converged``, ``failed_cleanly``,
-    ``states_total``); raises on the first divergence, with the failing
-    seed offset in the message.
+    ``timed_out``, ``states_total``); raises on the first divergence, with
+    the failing seed offset in the message.
 
     With ``timings=True`` each differential check runs inside an
     observability span (``spec.fuzz.check``) and the summary gains a
     ``timing`` block with the per-spec wall-clock percentiles
     (``p50``/``p90``/``p99``/``max``, seconds) read back from the recorded
     spans.
+
+    ``spec_deadline`` (seconds) installs a fresh wall-clock
+    :class:`repro.resilience.Budget` around *each* spec's differential
+    check, so one pathological generated spec cannot stall the whole
+    campaign: a spec whose check exceeds the deadline is counted under
+    ``timed_out`` and the run moves on.
     """
     rng = random.Random(seed)
-    converged = failed_cleanly = states_total = 0
+    converged = failed_cleanly = timed_out = states_total = 0
     recorder = None
     if timings:
         from repro.obs.sinks import RecordingSink
@@ -309,12 +325,21 @@ def run_fuzz(count=50, seed=0, timings=False):
             spec = random_spec(rng, name=f"fuzz-{seed}-{index}")
             try:
                 with _obs.span("spec.fuzz.check", index=index):
-                    stats = differential_check(spec)
+                    if spec_deadline:
+                        with _res.Budget(wall_seconds=spec_deadline):
+                            stats = differential_check(spec)
+                    else:
+                        stats = differential_check(spec)
             except AssertionError as error:
                 raise AssertionError(
                     f"differential check failed on spec {index} (seed {seed}): {error}\n"
                     f"{spec.to_kbp()}"
                 ) from error
+            except IterationLimitError:
+                raise  # a divergence-relevant loop limit escaping _construct
+            except BudgetExceededError:
+                timed_out += 1
+                continue
             if stats["outcome"] == "converged":
                 converged += 1
                 states_total += stats["states"]
@@ -327,6 +352,7 @@ def run_fuzz(count=50, seed=0, timings=False):
         "checked": count,
         "converged": converged,
         "failed_cleanly": failed_cleanly,
+        "timed_out": timed_out,
         "states_total": states_total,
     }
     if recorder is not None:

@@ -38,6 +38,7 @@ and cached evaluator extensions all stay valid across a
 """
 
 from repro import obs as _obs
+from repro import resilience as _res
 from repro.engine.backend import SetBackend
 from repro.symbolic.bdd import FALSE
 from repro.symbolic.encode import encoding_for
@@ -185,6 +186,10 @@ class SymbolicBackend(SetBackend):
         iterations = 0
         while True:
             iterations += 1
+            if _res.ACTIVE:
+                bud = _res.current_budget()
+                if bud is not None:
+                    bud.tick("fixpoint.iter", iterations=iterations - 1, manager=bdd)
             if _obs.ENABLED:
                 _obs.event(
                     "fixpoint.iter",
@@ -290,6 +295,10 @@ class SymbolicBackend(SetBackend):
         iterations = 0
         while True:
             iterations += 1
+            if _res.ACTIVE:
+                bud = _res.current_budget()
+                if bud is not None:
+                    bud.tick("fixpoint.iter", iterations=iterations - 1, manager=bdd)
             if _obs.ENABLED:
                 _obs.event(
                     "fixpoint.iter",

@@ -99,6 +99,7 @@ overflow-triggered clears.
 
 from repro import obs as _obs
 from repro.obs.registry import attach_aliases, register_manager
+from repro.resilience import faults as _faults
 from repro.util.errors import EngineError, VariableOrderError
 
 FALSE = 0
@@ -153,6 +154,8 @@ class BDD:
         "_last_reorder",
         "_live_ref",
         "_live_size",
+        "_budget",
+        "_budget_check_at",
         "__weakref__",
     )
 
@@ -194,6 +197,12 @@ class BDD:
         self._last_reorder = None
         self._live_ref = None
         self._live_size = 0
+        # Armed by repro.resilience (directly or via the registry hook that
+        # register_manager runs): _budget points at the governing Budget and
+        # _budget_check_at is the node id at which its next kernel-level
+        # check fires.  None means ungoverned — the only per-node cost.
+        self._budget = None
+        self._budget_check_at = 0
         register_manager(self)
 
     def _bound_ite_cache(self):
@@ -247,15 +256,33 @@ class BDD:
             self._unique[key] = found
             if self._var_nodes is not None:
                 self._var_nodes[var].append(found)
-            if self._auto_trigger is not None and found >= self._auto_trigger:
+            if (
+                self._auto_trigger is not None
+                and found >= self._auto_trigger
+                and not self._in_reorder
+            ):
                 # Never reorder mid-operation: only raise the flag here and
-                # let a safe point (maybe_reorder) run the sift.
+                # let a safe point (maybe_reorder) run the sift.  Skipped
+                # entirely while a sift is rewriting levels: swaps create
+                # nodes through _node between their table mutations, and an
+                # obs sink raising out of the growth event there would
+                # interrupt a half-applied swap (reorder() only recovers
+                # from interruptions *between* swaps).  The reorder's exit
+                # path re-arms the trigger itself.
                 self._reorder_pending = True
                 self._auto_trigger <<= 1
                 if _obs.ENABLED:
                     _obs.event(
                         "bdd.unique_growth", nodes=found, trigger=self._auto_trigger
                     )
+            budget = self._budget
+            if budget is not None and found >= self._budget_check_at:
+                # Cooperative governance: deadline/cancellation/hard node
+                # ceiling, re-checked every check_interval fresh nodes so a
+                # runaway single operation is bounded in time and space.
+                # The node is fully consed first, so the table stays
+                # consistent across the raise.
+                budget._kernel_check(self)
         return found
 
     def var(self, var):
@@ -658,6 +685,26 @@ class BDD:
             return None
         return tuple(self._group_order)
 
+    def declare_groups(self, groups):
+        """Declare keep-groups without arming the growth trigger.
+
+        :meth:`enable_reordering` both declares groups and arms automatic
+        sifting; this declares only, so an *explicit* :meth:`reorder` —
+        e.g. the mitigation ladder of :mod:`repro.resilience` on a manager
+        whose owner never opted into dynamic reordering — still moves the
+        relational current/primed pairs as units and keeps the prime
+        renames order-preserving.
+        """
+        self._set_groups(groups)
+
+    @property
+    def live_nodes(self):
+        """The current unique-table entry count — the live node population
+        a :class:`repro.resilience.Budget` node ceiling governs.  (The node
+        arrays never shrink; ``cache_info()['unique.nodes']`` reports that
+        monotone peak instead.)"""
+        return len(self._unique)
+
     def _set_groups(self, groups):
         group_of = {}
         for group in groups:
@@ -733,56 +780,73 @@ class BDD:
             self._group_order = [
                 (self._level2var[level],) for level in range(self.num_vars)
             ]
-        live_ref, live_size = self._trace_live(roots)
-        if roots is not None:
-            # Garbage-collect: only reachable nodes keep unique entries (and
-            # with them the ability to be returned by ``_node`` or rewritten
-            # by swaps).  Zombie slots stay in the arrays but are invalid.
-            purged = 0
-            for key, u in list(self._unique.items()):
-                if u not in live_ref:
-                    del self._unique[key]
-                    purged += 1
-            self._gc_passes += 1
-            self._gc_purged += purged
-            if _obs.ENABLED:
-                _obs.event("bdd.gc", purged=purged, live=live_size)
-        self._build_var_index()
-        before = live_size
+        before = None
         swaps_before = self._swap_count
         sift_span = _obs.span("bdd.reorder")
         sift_span.__enter__()
-        self._live_ref = live_ref
-        self._live_size = live_size
-        self._in_reorder = True
         try:
-            var_group = {}
-            for group in self._group_order:
-                for var in group:
-                    var_group[var] = group
-            sizes = {}
-            for u in live_ref:
-                group = var_group.get(self._var[u])
-                if group is not None:
-                    sizes[group] = sizes.get(group, 0) + 1
-            for group in sorted(
-                self._group_order, key=lambda g: sizes.get(g, 0), reverse=True
-            ):
-                if sizes.get(group, 0) == 0:
-                    continue
-                self._sift_group(group)
+            live_ref, live_size = self._trace_live(roots)
+            if roots is not None:
+                # Garbage-collect: only reachable nodes keep unique entries
+                # (and with them the ability to be returned by ``_node`` or
+                # rewritten by swaps).  Zombie slots stay in the arrays but
+                # are invalid.
+                purged = 0
+                for key, u in list(self._unique.items()):
+                    if u not in live_ref:
+                        del self._unique[key]
+                        purged += 1
+                self._gc_passes += 1
+                self._gc_purged += purged
+                if _obs.ENABLED:
+                    _obs.event("bdd.gc", purged=purged, live=live_size)
+            self._build_var_index()
+            before = live_size
+            self._live_ref = live_ref
+            self._live_size = live_size
+            self._in_reorder = True
+            try:
+                var_group = {}
+                for group in self._group_order:
+                    for var in group:
+                        var_group[var] = group
+                sizes = {}
+                for u in live_ref:
+                    group = var_group.get(self._var[u])
+                    if group is not None:
+                        sizes[group] = sizes.get(group, 0) + 1
+                for group in sorted(
+                    self._group_order, key=lambda g: sizes.get(g, 0), reverse=True
+                ):
+                    if sizes.get(group, 0) == 0:
+                        continue
+                    self._sift_group(group)
+            except BaseException:
+                # An interruption (cancellation, injected fault, kernel
+                # error) between elementary swaps can leave a keep-group
+                # physically split across levels, which would break the
+                # order-preservation of the prime renames.  Levels and
+                # reference counts are consistent at swap granularity, so
+                # adjacency can be restored with the same primitive.
+                self._repair_group_adjacency()
+                raise
         finally:
             self._in_reorder = False
             self._live_ref = None
             self._var_nodes = None
+            # The operation caches' level-keyed entries are stale the moment
+            # any level moved (and, after a GC, may reference purged nodes),
+            # so they are dropped on *every* exit path; likewise a pending
+            # request must not survive an aborted pass, else the next safe
+            # point would immediately re-enter it.
+            self.clear_operation_caches()
+            self._reorder_pending = False
+            if self._reorder_enabled:
+                self._auto_trigger = max(self._reorder_threshold, 2 * len(self._var))
             sift_span.__exit__(None, None, None)
         after = self._live_size
-        self.clear_operation_caches()
         self._reorder_count += 1
         self._last_reorder = (before, after)
-        self._reorder_pending = False
-        if self._reorder_enabled:
-            self._auto_trigger = max(self._reorder_threshold, 2 * len(self._var))
         if _obs.ENABLED:
             _obs.event(
                 "bdd.reorder",
@@ -792,6 +856,46 @@ class BDD:
                 trigger=self._auto_trigger,
             )
         return before, after
+
+    def _repair_group_adjacency(self):
+        """Recover keep-group adjacency after an interrupted sift.
+
+        A group move is a sequence of elementary swaps; an exception in the
+        middle leaves the two groups interleaved (each with its internal
+        order intact, since swaps never permute within a group).  Walking
+        the groups top-down and bubbling every member up to the block under
+        its leader restores contiguity from any between-swaps state.  Runs
+        with fault injection suppressed — the repair itself must not be
+        re-interrupted — and rebuilds the group order from the repaired
+        levels.
+        """
+        from repro.resilience import faults as _faults
+
+        v2l = self._var2level
+        with _faults.suppressed():
+            for group in sorted(
+                (g for g in self._group_order if len(g) > 1),
+                key=lambda g: min(v2l[var] for var in g),
+            ):
+                top = min(v2l[var] for var in group)
+                for offset, var in enumerate(group):
+                    target = top + offset
+                    level = v2l[var]
+                    while level > target:
+                        self._swap_levels(level - 1)
+                        level -= 1
+        group_of = {}
+        for group in self._group_order:
+            for var in group:
+                group_of[var] = group
+        order = []
+        level = 0
+        while level < self.num_vars:
+            var = self._level2var[level]
+            group = group_of.get(var, (var,))
+            order.append(group)
+            level += len(group)
+        self._group_order = order
 
     def _build_var_index(self):
         """Per-variable lists of the *live* nodes (exactly the unique-table
@@ -872,6 +976,10 @@ class BDD:
         skipped entirely: reference counts are exact over the live diagram,
         so nothing reachable ever points at a skipped node.
         """
+        if _faults.ARMED:
+            # Chaos hook: an injected raise lands here, *between* swaps —
+            # each individual swap is exception-atomic by construction.
+            _faults.fire("bdd.swap")
         l2v = self._level2var
         upper = l2v[level]
         lower = l2v[level + 1]

@@ -127,6 +127,11 @@ class SymbolicContextModel:
 
         self.name = name
         self.state_space = state_space
+        # The raw (pre-compilation) ingredients, kept so the model can be
+        # rebuilt as an explicit context when the universe is enumerable —
+        # the last rung of the resilience fallback ladder.
+        self._raw_initial = initial
+        self._raw_global_constraint = global_constraint
         self.encoding = VariableEncoding(
             state_space, cache_ceiling=cache_ceiling, variable_order=variable_order
         )
@@ -343,6 +348,28 @@ class SymbolicContextModel:
             return FALSE
         variable_name, value = pair
         return self.encoding.value_node(variable_name, value)
+
+    def explicit_context(self):
+        """Rebuild this model as an explicit (enumerating)
+        :class:`repro.systems.context.Context` from the same ingredients —
+        the inverse of :func:`compile_context`.
+
+        Only meaningful when the state space is small enough to enumerate;
+        :func:`repro.interpretation.iteration.construct_by_rounds` uses it
+        as the final mitigation rung when a symbolic construction exhausts
+        its BDD node budget on an enumerable universe.
+        """
+        from repro.systems.variable_context import variable_context
+
+        return variable_context(
+            self.name,
+            self.state_space,
+            self.observables,
+            self.actions,
+            self._raw_initial,
+            env_effects=self.env_effects,
+            global_constraint=self._raw_global_constraint,
+        )
 
     # -- dynamic reordering ------------------------------------------------------------
 

@@ -14,6 +14,7 @@ intended reading.
 """
 
 from repro import obs as _obs
+from repro import resilience as _res
 from repro.engine import (
     apply_epistemic,
     apply_epistemic_many,
@@ -405,6 +406,12 @@ class CTLKModelChecker:
         processed = 0
         while frontier:
             processed += 1
+            if _res.ACTIVE and processed % 256 == 0:
+                # Deadline/cancellation checks are batched: a perf_counter
+                # read per popped state would dominate this linear loop.
+                bud = _res.current_budget()
+                if bud is not None:
+                    bud.tick("fixpoint.iter")
             state = frontier.pop()
             for predecessor in self._predecessors[state]:
                 if predecessor in result:
@@ -445,6 +452,10 @@ class CTLKModelChecker:
         deleted = 0
         while dead:
             deleted += 1
+            if _res.ACTIVE and deleted % 256 == 0:
+                bud = _res.current_budget()
+                if bud is not None:
+                    bud.tick("fixpoint.iter")
             state = dead.pop()
             result.discard(state)
             for predecessor in self._predecessors[state]:

@@ -34,6 +34,7 @@ no explicit checker could hold in memory.
 """
 
 from repro import obs as _obs
+from repro import resilience as _res
 from repro.engine import (
     apply_epistemic_many,
     collect_ready_epistemic,
@@ -282,7 +283,7 @@ class SymbolicCTLKModelChecker:
                     iteration=iterations,
                     node=current,
                 )
-            self._safe_point((hold, target, current))
+            self._safe_point((hold, target, current), iterations)
             expanded = bdd.or_(current, bdd.and_(hold, self._pre_exists(current)))
             if expanded == current:
                 if _obs.ENABLED:
@@ -309,7 +310,7 @@ class SymbolicCTLKModelChecker:
                     iteration=iterations,
                     node=current,
                 )
-            self._safe_point((hold, current))
+            self._safe_point((hold, current), iterations)
             contracted = bdd.and_(current, self._pre_exists(current))
             if contracted == current:
                 if _obs.ENABLED:
@@ -320,15 +321,32 @@ class SymbolicCTLKModelChecker:
                 return current
             current = contracted
 
-    def _safe_point(self, in_flight):
-        """Between fixed-point iterations the manager may sift: root the
+    def _safe_point(self, in_flight, iterations=None):
+        """Between fixed-point iterations the manager may sift — and an
+        installed :class:`repro.resilience.Budget` gets its check: root the
         relation, every cached extension, and the iterate the loop holds."""
+        if _res.ACTIVE:
+            bud = _res.current_budget()
+            if bud is not None:
+                bud.tick(
+                    "fixpoint.iter",
+                    iterations=iterations,
+                    manager=self.bdd,
+                    roots=lambda: self._reorder_roots(in_flight),
+                    groups=self.encoding.reorder_groups,
+                    partial=lambda: _res.PartialProgress(
+                        "ctlk.fixpoint", iteration=iterations, node=in_flight[-1]
+                    ),
+                )
         if not self.bdd.reorder_pending:
             return
+        self.model.maybe_reorder(self._reorder_roots(in_flight))
+
+    def _reorder_roots(self, in_flight):
         roots = [self.transition, self.states_node]
         roots.extend(node for node in self._cache.values() if node is not None)
         roots.extend(in_flight)
-        self.model.maybe_reorder(roots)
+        return roots
 
 
 def _symbolic_checker(system, backend=None):

@@ -101,3 +101,56 @@ class InterpretationError(ReproError):
     """Raised when interpreting a knowledge-based program fails, e.g. the
     iterative interpretation is asked for a unique implementation of a
     program that has none."""
+
+
+class BudgetExceededError(ReproError):
+    """Raised when a computation exhausts an installed resource budget
+    (:class:`repro.resilience.Budget`): wall-clock deadline, BDD node
+    ceiling, fixed-point iteration ceiling, or an explicit cancellation.
+
+    Attributes
+    ----------
+    reason:
+        Which limit fired: ``"deadline"``, ``"nodes"``, ``"iterations"``
+        or ``"cancelled"``.
+    site:
+        The safe-point name at which the check fired — the same dotted
+        vocabulary the obs layer uses for its hook points
+        (``"construct.round"``, ``"fixpoint.iter"``, ``"bdd.unique_growth"``,
+        ``"evaluator.batch"``, ``"synthesis.candidate"``, ...).
+    diagnostics:
+        A plain dict of structured facts about the budget state at the
+        moment of the raise (elapsed seconds, node counts, limits, the
+        mitigation steps already tried).
+    partial:
+        The partial result the interrupted loop had accumulated — a
+        :class:`repro.resilience.PartialProgress` when the loop provides
+        one, else ``None``.  Loops that accept a ``resume=`` argument can
+        continue from it instead of starting over.
+    """
+
+    def __init__(self, message, *, reason=None, site=None, diagnostics=None, partial=None):
+        super().__init__(message)
+        self.reason = reason
+        self.site = site
+        self.diagnostics = dict(diagnostics) if diagnostics else {}
+        self.partial = partial
+
+    def attach_partial(self, partial):
+        """Attach ``partial`` (kept only if none is recorded yet) and return
+        ``self`` — the idiom loops use to decorate a kernel-level raise with
+        their own progress snapshot while re-raising it."""
+        if self.partial is None:
+            self.partial = partial
+        return self
+
+
+class IterationLimitError(BudgetExceededError, InterpretationError):
+    """Raised when an interpretation loop exhausts its ``max_rounds`` /
+    ``max_iterations`` ceiling without stabilising.
+
+    Derives from both :class:`BudgetExceededError` (it is a resource
+    exhaustion and carries the partial progress) and
+    :class:`InterpretationError` (the historical class of these raises, so
+    existing ``except InterpretationError`` callers keep working).
+    """
